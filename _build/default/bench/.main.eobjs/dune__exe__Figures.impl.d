@@ -1,0 +1,1 @@
+bench/figures.ml: Cq Diamonds Dl_eval Format Instance List Pebble Printf Reduction Sys Tiling View

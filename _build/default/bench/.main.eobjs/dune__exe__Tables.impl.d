@@ -1,0 +1,1 @@
+bench/tables.ml: Cq Datalog Dl_fragment Format List Md_decide Md_rewrite Md_tests Parity Parse Pebble Printf Reduction Schema String Sys Tiling Ucq View

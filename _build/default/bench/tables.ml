@@ -1,0 +1,243 @@
+(* Regeneration of Table 1 (rewritability of monotonically determined
+   queries) and Table 2 (decidability/complexity of monotonic
+   determinacy).
+
+   For every populated cell we run the corresponding algorithm on
+   representative query/view pairs and report the verdict the paper's
+   table states, checked mechanically:
+   - rewritings are verified by differential testing against the original
+     query through the views on randomized instances;
+   - decision procedures are run on both positive and negative seeds. *)
+
+let pf = Format.printf
+
+let line () = pf "  %s@." (String.make 76 '-')
+
+(* ---------- workloads ---------- *)
+
+let tc_view =
+  View.datalog "VT"
+    (Parse.query ~goal:"T" "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y).")
+
+let example1_query =
+  Parse.query ~goal:"GoalQ"
+    "GoalQ <- U1(x), W1(x).
+     W1(x) <- T(x,y,z), B(z,w), B(y,w), W1(w).
+     W1(x) <- U2(x)."
+
+let example1_views =
+  [
+    View.cq "V0" (Parse.cq "v(x,w) <- T(x,y,z), B(z,w), B(y,w)");
+    View.cq "V1" (Parse.cq "v(x) <- U1(x)");
+    View.cq "V2" (Parse.cq "v(x) <- U2(x)");
+  ]
+
+let example1_schema = Schema.of_list [ ("T", 3); ("B", 2); ("U1", 1); ("U2", 1) ]
+
+let conn =
+  Parse.query ~goal:"G" "P(x) <- U(x). P(x) <- R(x,y), P(y). G <- P(x), S(x)."
+
+let conn_views =
+  [ View.atomic "VR" "R" 2; View.atomic "VU" "U" 1; View.atomic "VS" "S" 1 ]
+
+let conn_schema = Schema.of_list [ ("R", 2); ("U", 1); ("S", 1) ]
+
+let fg_query =
+  (* frontier-guarded but not monadic: guarded reachability *)
+  Parse.query ~goal:"G"
+    "P(x,y) <- E(x,y), U(y).
+     P(x,y) <- E(x,y), P(y,z).
+     G <- P(x,y), S(x)."
+
+let tc_bool =
+  Parse.query ~goal:"T0" "R0(x) <- U(x). R0(x) <- E(x,y), R0(y). T0 <- R0(x), S(x)."
+
+(* ---------- Table 1 ---------- *)
+
+let verify_dl q rw views schema seed =
+  let insts = Md_rewrite.random_instances ~n:30 ~size:12 ~seed schema in
+  Md_rewrite.verify_boolean q rw views insts
+
+let table1 () =
+  pf "@.### Table 1 — rewritability of monotonically determined queries ###@.";
+  pf "  %-34s %-22s %s@." "cell (query \\ views)" "paper verdict" "our run";
+  line ();
+
+  (* CQ over Datalog views -> CQ (Prop 8a) *)
+  let q = Parse.cq "q() <- E(x,y), E(y,z)" in
+  let rw = Md_rewrite.prop8_cq q [ tc_view ] in
+  let insts =
+    Md_rewrite.random_instances ~n:30 ~size:10 ~seed:31 (Schema.of_list [ ("E", 2) ])
+  in
+  let ok =
+    List.for_all
+      (fun i ->
+        Cq.holds_boolean q i = Cq.holds_boolean rw (View.image [ tc_view ] i))
+      insts
+  in
+  pf "  %-34s %-22s CQ rewriting built & verified: %b@." "CQ \\ Datalog"
+    "CQ [Prop 8a]" ok;
+
+  (* UCQ over Datalog views -> UCQ (Prop 8b) *)
+  let u = Parse.ucq "q() <- E(x,y), E(y,z). q() <- E(x,x)." in
+  let ru = Md_rewrite.prop8_ucq u [ View.atomic "VE" "E" 2 ] in
+  let ok =
+    List.for_all
+      (fun i ->
+        Ucq.holds_boolean u i
+        = Ucq.holds_boolean ru (View.image [ View.atomic "VE" "E" 2 ] i))
+      insts
+  in
+  pf "  %-34s %-22s UCQ rewriting built & verified: %b@." "UCQ \\ Datalog"
+    "UCQ [Prop 8b]" ok;
+
+  (* MDL over CQ views -> FGDL via inverse rules; not necessarily MDL *)
+  let rw = Md_rewrite.inverse_rules example1_query example1_views in
+  let ok = verify_dl example1_query rw example1_views example1_schema 32 in
+  let fg = Dl_fragment.is_syntactically_frontier_guarded rw.Datalog.program in
+  pf "  %-34s %-22s inverse-rules: verified %b, FG %b@." "MDL \\ CQ"
+    "FGDL, nn MDL [14],[Th7]" ok fg;
+  pf "  %-34s %-22s see experiment F3/E7 (diamond query)@." "" "";
+
+  (* MDL over FGDL (atomic) views -> MDL/Datalog via Theorem 1 pipeline *)
+  let rw = Md_rewrite.forward_backward_atomic conn conn_views in
+  let ok = verify_dl conn rw conn_views conn_schema 33 in
+  pf "  %-34s %-22s fwd/proj/bwd pipeline verified: %b@." "MDL \\ FGDL (atomic)"
+    "MDL [Th 1]" ok;
+
+  (* MDL over UCQ views: not necessarily Datalog (Th 8) *)
+  let tps = Parity.tp_star in
+  let untilable = not (Tiling.can_tile (Tiling.grid 3 3) tps) in
+  let kcons =
+    Pebble.duplicator_wins ~k:2 (Tiling.grid 3 3) (Tiling.structure tps)
+  in
+  pf "  %-34s %-22s TP* separation: untilable %b, →2 %b@." "MDL \\ UCQ"
+    "nn Datalog [Th 8]" untilable kcons;
+
+  (* FGDL over CQ views -> FGDL [14] *)
+  let fg_views =
+    [ View.atomic "VE" "E" 2; View.atomic "VU" "U" 1; View.atomic "VS" "S" 1 ]
+  in
+  let rw = Md_rewrite.inverse_rules fg_query fg_views in
+  let ok =
+    verify_dl fg_query rw fg_views
+      (Schema.of_list [ ("E", 2); ("U", 1); ("S", 1) ])
+      34
+  in
+  let fg = Dl_fragment.is_syntactically_frontier_guarded rw.Datalog.program in
+  pf "  %-34s %-22s inverse-rules: verified %b, FG %b@." "FGDL \\ CQ"
+    "FGDL [14]" ok fg;
+
+  (* Datalog over CQ views -> Datalog [14] *)
+  let dq = Parse.query ~goal:"G" "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y). G <- T(x,y), S(x), U(y)." in
+  let dviews =
+    [ View.atomic "VE" "E" 2; View.atomic "VU" "U" 1; View.atomic "VS" "S" 1 ]
+  in
+  let rw = Md_rewrite.inverse_rules dq dviews in
+  let ok =
+    verify_dl dq rw dviews (Schema.of_list [ ("E", 2); ("U", 1); ("S", 1) ]) 35
+  in
+  pf "  %-34s %-22s inverse-rules: verified %b@." "Datalog \\ CQ"
+    "Datalog [14]" ok;
+
+  (* Datalog over Datalog views: separators may be arbitrarily expensive *)
+  pf "  %-34s %-22s see experiment E9 (TM separators)@." "Datalog \\ Datalog"
+    "no sep. bound [Th 9]"
+
+(* ---------- Table 2 ---------- *)
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let table2 () =
+  pf "@.### Table 2 — deciding monotonic determinacy ###@.";
+  pf "  %-26s %-24s %s@." "cell" "paper status" "our run";
+  line ();
+
+  (* CQ / CQ : NP-complete, exact here *)
+  let pos, t1 =
+    time (fun () ->
+        Md_decide.cq_query (Parse.cq "q() <- E(x,y)")
+          [ View.cq "P1" (Parse.cq "v(x) <- E(x,y)") ])
+  in
+  let neg, t2 =
+    time (fun () ->
+        Md_decide.cq_query (Parse.cq "q() <- E(x,x)")
+          [ View.cq "P1" (Parse.cq "v(x) <- E(x,y)") ])
+  in
+  pf "  %-26s %-24s +:%b -:%b (%.3fs, %.3fs)@." "CQ \\ CQ" "NP-c [21]" pos neg t1 t2;
+
+  (* UCQ / UCQ : Πp2-complete *)
+  let vu = View.atomic "VU" "U" 1 and vw = View.atomic "VW" "W" 1 in
+  let u = Parse.ucq "q() <- U(x). q() <- W(x)." in
+  let pos, t1 = time (fun () -> Md_decide.ucq_query u [ vu; vw ]) in
+  let neg, t2 = time (fun () -> Md_decide.ucq_query u [ vu ]) in
+  pf "  %-26s %-24s +:%b -:%b (%.3fs, %.3fs)@." "UCQ \\ UCQ" "Πp2-c [22]" pos neg t1 t2;
+
+  (* CQ / Datalog : 2ExpTime (Th 5) — with a size sweep on the query *)
+  let path n =
+    let atoms =
+      List.init n (fun i ->
+          Cq.atom "E" [ Cq.Var (Printf.sprintf "x%d" i); Cq.Var (Printf.sprintf "x%d" (i + 1)) ])
+    in
+    Cq.make ~head:[] atoms
+  in
+  pf "  %-26s %-24s@." "CQ \\ Datalog" "2ExpTime-c [Th 5/Prop 9]";
+  List.iter
+    (fun n ->
+      let r, t = time (fun () -> Md_decide.cq_query (path n) [ tc_view ]) in
+      pf "      %d-path over TC view: determined %b (%.3fs)@." n r t)
+    [ 1; 2; 3; 4; 5; 6 ];
+  let r, t = time (fun () -> Md_decide.cq_query (Parse.cq "q() <- E(x,x)") [ tc_view ]) in
+  pf "      self-loop over TC view: determined %b (%.3fs)@." r t;
+
+  (* MDL / CQ : 2ExpTime-hard; bounded canonical tests here *)
+  let verdict, t =
+    time (fun () -> Md_tests.decide_bounded ~max_depth:4 example1_query example1_views)
+  in
+  (match verdict with
+  | Md_tests.No_failure_up_to n ->
+      pf "  %-26s %-24s Example 1: no failing test /%d (%.3fs)@." "MDL \\ CQ"
+        "2ExpTime-h [Cor 9]" n t
+  | Md_tests.Not_determined _ ->
+      pf "  %-26s %-24s unexpected failing test@." "MDL \\ CQ" "2ExpTime-h");
+
+  (* MDL / UCQ : undecidable (Th 6) — the reduction, both directions *)
+  pf "  %-26s %-24s@." "MDL \\ UCQ" "undecidable [Th 6]";
+  let tp_solvable = Tiling.simple_solvable in
+  let q_tp = Reduction.query tp_solvable in
+  let v_tp = Reduction.views tp_solvable in
+  let verdict, t =
+    time (fun () ->
+        Md_tests.decide_bounded ~max_depth:4 ~max_choices_per_fact:6
+          ~max_tests_per_approx:2048 q_tp v_tp)
+  in
+  (match verdict with
+  | Md_tests.Not_determined _ ->
+      pf "      solvable TP: failing canonical test found (%.3fs) — Prop 10 ⇒@." t;
+      pf "      (a failing test ↔ a tiling solution)@."
+  | Md_tests.No_failure_up_to n ->
+      pf "      solvable TP: no failing test among %d (depth too small)@." n);
+  let tpu = Tiling.simple_unsolvable in
+  let verdict, t =
+    time (fun () ->
+        Md_tests.decide_bounded ~max_depth:4 ~max_choices_per_fact:6
+          ~max_tests_per_approx:2048 (Reduction.query tpu) (Reduction.views tpu))
+  in
+  (match verdict with
+  | Md_tests.No_failure_up_to n ->
+      pf "      unsolvable TP: all %d bounded tests pass (%.3fs)@." n t
+  | Md_tests.Not_determined _ ->
+      pf "      unsolvable TP: unexpected failing test@.");
+
+  (* Datalog / Datalog : undecidable; bounded fallback *)
+  let verdict, t =
+    time (fun () -> Md_decide.decide tc_bool [ View.atomic "VE" "E" 2; View.atomic "VU" "U" 1; View.atomic "VS" "S" 1 ])
+  in
+  (match verdict with
+  | Md_decide.Bounded_no_failure n ->
+      pf "  %-26s %-24s bounded search: no failure /%d (%.3fs)@."
+        "Datalog \\ Datalog" "undecidable [Prop 9]" n t
+  | v -> pf "  %-26s %-24s %a@." "Datalog \\ Datalog" "undecidable" Md_decide.pp_verdict v)

@@ -1,0 +1,161 @@
+(* mondet — command-line front end.
+
+   Queries and programs use the Parse syntax (see lib/parse/parse.mli).
+   A views file is a program whose rules are grouped by head predicate:
+   each group defines one view (a CQ view if a single rule, a UCQ view
+   otherwise). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let views_of_file path =
+  let rules = Parse.program (read_file path) in
+  let names =
+    List.sort_uniq String.compare
+      (List.map (fun (r : Datalog.rule) -> r.Datalog.head.Cq.rel) rules)
+  in
+  List.map
+    (fun name ->
+      let group = List.filter (fun (r : Datalog.rule) -> r.Datalog.head.Cq.rel = name) rules in
+      let cq_of (r : Datalog.rule) =
+        let head =
+          List.map
+            (function Cq.Var v -> v | Cq.Cst _ -> failwith "constant in view head")
+            r.Datalog.head.Cq.args
+        in
+        Cq.make ~head r.Datalog.body
+      in
+      match group with
+      | [ r ] -> View.cq name (cq_of r)
+      | rs -> View.ucq name (Ucq.make (List.map cq_of rs)))
+    names
+
+let query_of ~goal path = Parse.query ~goal (read_file path)
+let instance_of path = Parse.instance (read_file path)
+
+(* ------------------------------------------------------------------ *)
+
+let goal_arg =
+  Arg.(required & opt (some string) None & info [ "goal"; "g" ] ~docv:"GOAL"
+         ~doc:"Goal predicate of the query.")
+
+let query_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY")
+let data_pos n = Arg.(required & pos n (some file) None & info [] ~docv:"DATA")
+let views_pos n = Arg.(required & pos n (some file) None & info [] ~docv:"VIEWS")
+
+let eval_cmd =
+  let run qf goal df =
+    let q = query_of ~goal qf in
+    let i = instance_of df in
+    let out = Dl_eval.eval q i in
+    if Datalog.goal_arity q = 0 then
+      Format.printf "%b@." (out <> [])
+    else
+      List.iter
+        (fun t ->
+          Format.printf "%a@."
+            Fmt.(array ~sep:(any ",") Const.pp)
+            t)
+        out;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Evaluate a Datalog query on an instance.")
+    Term.(ret (const run $ query_file $ goal_arg $ data_pos 1))
+
+let md_cmd =
+  let depth =
+    Arg.(value & opt int 4 & info [ "depth" ] ~doc:"Approximation depth bound.")
+  in
+  let run qf goal vf depth =
+    let q = query_of ~goal qf in
+    let views = views_of_file vf in
+    let verdict = Md_decide.decide ~max_depth:depth q views in
+    Format.printf "%a@." Md_decide.pp_verdict verdict;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "md"
+       ~doc:
+         "Check monotonic determinacy of a Boolean query over views (exact \
+          for CQ/UCQ queries, bounded canonical-test search otherwise).")
+    Term.(ret (const run $ query_file $ goal_arg $ views_pos 1 $ depth))
+
+let rewrite_cmd =
+  let meth =
+    Arg.(
+      value
+      & opt (enum [ ("inverse-rules", `Inverse); ("prop8", `Prop8) ]) `Inverse
+      & info [ "method" ] ~doc:"Rewriting algorithm: inverse-rules or prop8.")
+  in
+  let run qf goal vf meth =
+    let q = query_of ~goal qf in
+    let views = views_of_file vf in
+    (match meth with
+    | `Inverse ->
+        let rw = Md_rewrite.inverse_rules q views in
+        Format.printf "%a@." Datalog.pp_query rw
+    | `Prop8 -> (
+        match Dl_fragment.to_ucq q with
+        | Some u ->
+            let rw = Md_rewrite.prop8_ucq u views in
+            Format.printf "%a@." Ucq.pp rw
+        | None -> Format.printf "prop8 needs a CQ or UCQ query@."));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "rewrite" ~doc:"Compute a rewriting of the query over the views.")
+    Term.(ret (const run $ query_file $ goal_arg $ views_pos 1 $ meth))
+
+let image_cmd =
+  let run vf df =
+    let views = views_of_file vf in
+    let i = instance_of df in
+    Format.printf "%a@." Instance.pp (View.image views i);
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "image" ~doc:"Compute the view image of an instance.")
+    Term.(ret (const run $ views_pos 0 $ data_pos 1))
+
+let pebble_cmd =
+  let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Number of pebbles.") in
+  let run k d1 d2 =
+    let i1 = instance_of d1 and i2 = instance_of d2 in
+    Format.printf "duplicator wins the existential %d-pebble game: %b@." k
+      (Pebble.duplicator_wins ~k i1 i2);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "pebble"
+       ~doc:"Play the existential k-pebble game between two instances.")
+    Term.(ret (const run $ k_arg $ data_pos 0 $ data_pos 1))
+
+let tiling_cmd =
+  let n_arg = Arg.(value & opt int 3 & info [ "width" ] ~doc:"Grid width.") in
+  let m_arg = Arg.(value & opt int 3 & info [ "height" ] ~doc:"Grid height.") in
+  let run n m =
+    let tps = Parity.tp_star in
+    let g = Tiling.grid n m in
+    Format.printf "TP* (Lemma 6): grid %dx%d tilable: %b;  →2 I_TP*: %b@." n m
+      (Tiling.can_tile g tps)
+      (Pebble.duplicator_wins ~k:2 g (Tiling.structure tps));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "tiling" ~doc:"Run the Lemma 6 parity-tiling separation on a grid.")
+    Term.(ret (const run $ n_arg $ m_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "mondet" ~version:"1.0"
+       ~doc:
+         "Monotonic determinacy and rewritability for recursive queries and \
+          views (PODS 2020 reproduction).")
+    [ eval_cmd; md_cmd; rewrite_cmd; image_cmd; pebble_cmd; tiling_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/diamonds_example.ml: Cq Datalog Diamonds Dl_eval Format Instance List Md_rewrite Pebble Printf View

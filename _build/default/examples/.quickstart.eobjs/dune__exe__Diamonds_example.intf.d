@@ -1,0 +1,1 @@
+examples/diamonds_example.mli:

@@ -1,0 +1,1 @@
+examples/grid_tilings.ml: Datalog Dl_eval Dl_fragment Format Instance List Parity Pebble Reduction Tiling View

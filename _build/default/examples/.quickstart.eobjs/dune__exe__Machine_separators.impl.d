@@ -1,0 +1,1 @@
+examples/machine_separators.ml: Const Dl_eval Encode Fact Format Instance List String Sys Th9 Tm View

@@ -1,0 +1,1 @@
+examples/path_views.ml: Code Cq Datalog Dl_eval Format Forward Instance List Md_decide Md_rewrite Nta Parse Schema View

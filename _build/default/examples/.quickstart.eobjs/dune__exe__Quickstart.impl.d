@@ -1,0 +1,1 @@
+examples/quickstart.ml: Const Cq Datalog Dl_eval Dl_fragment Fact Format Instance List Md_rewrite Md_tests Parse Printf Schema View

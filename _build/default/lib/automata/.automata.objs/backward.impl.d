@@ -1,0 +1,1 @@
+lib/automata/backward.ml: Cq Datalog List Nta Printf Schema

@@ -1,0 +1,1 @@
+lib/automata/backward.mli: Datalog Nta Schema

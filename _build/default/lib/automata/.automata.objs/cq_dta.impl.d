@@ -1,0 +1,1 @@
+lib/automata/cq_dta.ml: Array Code Cq Dta Fmt Hashtbl Int List Nta Queue String

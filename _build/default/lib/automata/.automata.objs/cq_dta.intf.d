@@ -1,0 +1,1 @@
+lib/automata/cq_dta.mli: Code Cq Dta

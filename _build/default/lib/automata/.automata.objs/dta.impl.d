@@ -1,0 +1,1 @@
+lib/automata/dta.ml: Fmt List Nta

@@ -1,0 +1,1 @@
+lib/automata/forward.ml: Cq Datalog Dl_binarize Dl_specialize Format List Nta Option String

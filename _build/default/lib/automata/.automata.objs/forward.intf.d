@@ -1,0 +1,1 @@
+lib/automata/forward.mli: Datalog Nta

@@ -1,0 +1,1 @@
+lib/automata/nta.ml: Code Fmt Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/automata/nta.mli: Code Fmt Hashtbl

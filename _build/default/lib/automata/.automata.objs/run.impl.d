@@ -1,0 +1,1 @@
+lib/automata/run.ml: Code Dta Hashtbl List Nta Option

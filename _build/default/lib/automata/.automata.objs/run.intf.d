@@ -1,0 +1,1 @@
+lib/automata/run.mli: Code Dta Nta

@@ -1,0 +1,51 @@
+let adom_rules schema =
+  List.concat_map
+    (fun (rel, arity) ->
+      List.init arity (fun i ->
+          let args = List.init arity (fun j -> Cq.Var (Printf.sprintf "a%d" j)) in
+          Datalog.rule
+            (Cq.atom "Adom" [ Cq.Var (Printf.sprintf "a%d" i) ])
+            [ Cq.atom rel args ]))
+    (Schema.relations schema)
+
+let state_pred q = Printf.sprintf "P%d" q
+
+let backward ~schema ~k (a : Nta.t) =
+  let xs = List.init k (fun i -> Printf.sprintf "x%d" i) in
+  let x i = Cq.Var (List.nth xs i) in
+  let fresh_counter = ref 0 in
+  let trans_rules =
+    List.map
+      (fun (tr : Nta.transition) ->
+        let head = Cq.atom (state_pred tr.Nta.target) (List.map (fun v -> Cq.Var v) xs) in
+        let adoms = List.map (fun v -> Cq.atom "Adom" [ Cq.Var v ]) xs in
+        let child_atoms =
+          List.map2
+            (fun q edge ->
+              incr fresh_counter;
+              let c = !fresh_counter in
+              let arg p =
+                (* parent position i linked to child position p? *)
+                match List.find_opt (fun (_, p') -> p' = p) edge with
+                | Some (i, _) -> x i
+                | None -> Cq.Var (Printf.sprintf "z%d_%d" c p)
+              in
+              Cq.atom (state_pred q) (List.init k arg))
+            tr.Nta.children tr.Nta.sym.Nta.edges
+        in
+        let label_atoms =
+          List.map
+            (fun (rel, positions) -> Cq.atom rel (List.map x positions))
+            tr.Nta.sym.Nta.label
+        in
+        Datalog.rule head (adoms @ child_atoms @ label_atoms))
+      a.Nta.transitions
+  in
+  let goal_rules =
+    List.map
+      (fun q ->
+        Datalog.rule (Cq.atom "GoalA" [])
+          [ Cq.atom (state_pred q) (List.map (fun v -> Cq.Var v) xs) ])
+      a.Nta.finals
+  in
+  Datalog.query (adom_rules schema @ trans_rules @ goal_rules) "GoalA"

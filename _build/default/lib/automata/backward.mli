@@ -1,0 +1,20 @@
+(** The backward mapping of §3: from an NTA on width-k codes to a Datalog
+    program [Q_A] over a given schema.
+
+    For every transition [q1,…,qm, σ^{s1..sm}_L → q] the program gets a
+    rule
+
+    {v P_q(x̄) ← ⋀ Adom(x_i) ∧ ⋀_j P_{q_j}(ȳ^j) ∧ ⋀_l R_l(x_{n̄_l}) v}
+
+    where [ȳ^j] shares [x_i] at the positions related by [s_j] and is
+    fresh elsewhere (the paper's equalities, inlined by substitution), and
+    [Adom] is axiomatized over the given schema.  By Proposition 7, if the
+    automaton sandwiches the view images of the approximations of a
+    homomorphically-determined query, [Q_A] is a Datalog rewriting. *)
+
+val adom_rules : Schema.t -> Datalog.rule list
+(** [Adom(x) ← R(.., x, ..)] for every relation and position. *)
+
+val backward : schema:Schema.t -> k:int -> Nta.t -> Datalog.query
+(** The query [(Π_A, Goal_A)]; Boolean (the goal is 0-ary: the paper's
+    construction for Boolean queries, projecting over the root bag). *)

@@ -1,0 +1,57 @@
+(** Deterministic bottom-up tree "automata" given symbolically: the state
+    space is implicit (a function of the input tree), which lets us work
+    over the unbounded alphabet of code symbols.  Complementation is free
+    (negate [accept]); intersection with an explicit {!Nta.t} is the lazy
+    product of {!Run}. *)
+
+module type S = sig
+  type dstate
+
+  val step : dstate list -> Nta.sym -> dstate
+  (** [step [] sym] is the leaf case. *)
+
+  val accept : dstate -> bool
+  val compare : dstate -> dstate -> int
+  val pp : dstate Fmt.t
+end
+
+type t = (module S)
+
+(** The trivial automaton accepting everything. *)
+let true_ : t =
+  (module struct
+    type dstate = unit
+
+    let step _ _ = ()
+    let accept () = true
+    let compare () () = 0
+    let pp ppf () = Fmt.string ppf "()"
+  end)
+
+(** Conjunction: run both automata side by side; accept iff both do. *)
+let conj (a : t) (b : t) : t =
+  let module A = (val a) in
+  let module B = (val b) in
+  (module struct
+    type dstate = A.dstate * B.dstate
+
+    let step ds sym = (A.step (List.map fst ds) sym, B.step (List.map snd ds) sym)
+    let accept (x, y) = A.accept x && B.accept y
+
+    let compare (x1, y1) (x2, y2) =
+      let c = A.compare x1 x2 in
+      if c <> 0 then c else B.compare y1 y2
+
+    let pp ppf (x, y) = Fmt.pf ppf "(%a,%a)" A.pp x B.pp y
+  end)
+
+let conj_list = List.fold_left conj true_
+
+(** Complement: accept iff the automaton rejects. *)
+let neg (a : t) : t =
+  let module A = (val a) in
+  (module struct
+    include A
+
+    let accept s = not (A.accept s)
+  end)

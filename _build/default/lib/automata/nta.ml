@@ -1,0 +1,152 @@
+type state = int
+type sym = { label : Code.label; edges : Code.edge list }
+type transition = { children : state list; sym : sym; target : state }
+type t = { n_states : int; finals : state list; transitions : transition list }
+
+let norm_sym s =
+  { label = List.sort compare s.label; edges = List.map (List.sort compare) s.edges }
+
+let make ~n_states ~finals transitions =
+  let check_state q =
+    if q < 0 || q >= n_states then invalid_arg "Nta.make: state out of range"
+  in
+  List.iter check_state finals;
+  let transitions =
+    List.map
+      (fun tr ->
+        check_state tr.target;
+        List.iter check_state tr.children;
+        if List.length tr.children <> List.length tr.sym.edges then
+          invalid_arg "Nta.make: child/edge arity mismatch";
+        { tr with sym = norm_sym tr.sym })
+      transitions
+  in
+  { n_states; finals; transitions }
+
+let sym_of_node (c : Code.t) =
+  norm_sym { label = c.Code.label; edges = List.map fst c.Code.children }
+
+let symbols a =
+  List.sort_uniq compare (List.map (fun tr -> tr.sym) a.transitions)
+
+let size a = List.length a.transitions
+
+let accepts a code =
+  let rec states (c : Code.t) : state list =
+    let child_states = List.map (fun (_, ch) -> states ch) c.Code.children in
+    let sym = sym_of_node c in
+    List.filter_map
+      (fun tr ->
+        if tr.sym = sym
+           && List.for_all2 (fun q qs -> List.mem q qs) tr.children child_states
+        then Some tr.target
+        else None)
+      a.transitions
+    |> List.sort_uniq Int.compare
+  in
+  let roots = states code in
+  List.exists (fun q -> List.mem q roots) a.finals
+
+let reachable a =
+  let witness : (state, Code.t) Hashtbl.t = Hashtbl.create 16 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun tr ->
+        if not (Hashtbl.mem witness tr.target) then
+          let kids = List.map (Hashtbl.find_opt witness) tr.children in
+          if List.for_all Option.is_some kids then (
+            let children =
+              List.map2
+                (fun e k -> (e, Option.get k))
+                tr.sym.edges kids
+            in
+            Hashtbl.add witness tr.target
+              { Code.label = tr.sym.label; children };
+            changed := true))
+      a.transitions
+  done;
+  witness
+
+let witness a =
+  let w = reachable a in
+  List.find_map (fun q -> Hashtbl.find_opt w q) a.finals
+
+let is_empty a = Option.is_none (witness a)
+
+let product a b =
+  (* state (qa, qb) encoded as qa * b.n_states + qb *)
+  let enc qa qb = (qa * b.n_states) + qb in
+  let transitions =
+    List.concat_map
+      (fun (ta : transition) ->
+        List.filter_map
+          (fun (tb : transition) ->
+            if ta.sym = tb.sym then
+              Some
+                {
+                  children = List.map2 enc ta.children tb.children;
+                  sym = ta.sym;
+                  target = enc ta.target tb.target;
+                }
+            else None)
+          b.transitions)
+      a.transitions
+  in
+  let finals =
+    List.concat_map (fun qa -> List.map (fun qb -> enc qa qb) b.finals) a.finals
+  in
+  make ~n_states:(a.n_states * b.n_states) ~finals transitions
+
+let union a b =
+  let shift q = q + a.n_states in
+  let transitions =
+    a.transitions
+    @ List.map
+        (fun tr ->
+          {
+            tr with
+            children = List.map shift tr.children;
+            target = shift tr.target;
+          })
+        b.transitions
+  in
+  make
+    ~n_states:(a.n_states + b.n_states)
+    ~finals:(a.finals @ List.map shift b.finals)
+    transitions
+
+let relabel f a =
+  {
+    a with
+    transitions =
+      List.map
+        (fun tr ->
+          { tr with sym = norm_sym { tr.sym with label = f tr.sym.label } })
+        a.transitions;
+  }
+
+let trim a =
+  let w = reachable a in
+  {
+    a with
+    transitions =
+      List.filter
+        (fun tr ->
+          Hashtbl.mem w tr.target
+          && List.for_all (Hashtbl.mem w) tr.children)
+        a.transitions;
+  }
+
+let pp_sym ppf s =
+  Fmt.pf ppf "⟨%a|%d⟩"
+    Fmt.(list ~sep:comma (fun ppf (r, ps) ->
+        Fmt.pf ppf "%s%a" r Fmt.(brackets (list ~sep:comma int)) ps))
+    s.label (List.length s.edges)
+
+let pp ppf a =
+  Fmt.pf ppf "NTA(%d states, %d transitions, finals=%a)" a.n_states
+    (size a)
+    Fmt.(brackets (list ~sep:comma int))
+    a.finals

@@ -1,0 +1,63 @@
+(** Nondeterministic bottom-up tree automata over tree codes (paper §3).
+
+    The paper's automata read binary codes with node labels [σ_L] and edge
+    labels [s1, s2]; we generalize to arbitrary finite branching: a
+    transition consumes the states of the children together with the node
+    label and the list of child edge maps.  Leaves are the 0-child case
+    (the paper's initial transitions [σ_L → q]).
+
+    Transitions carry concrete symbols, so the alphabet of an automaton is
+    the finite set of symbols its transitions mention; language operations
+    that need the complement are done relative to a given automaton's
+    alphabet via the lazy product constructions in {!Run}. *)
+
+type state = int
+
+type sym = { label : Code.label; edges : Code.edge list }
+(** A node shape: its label and, in order, the edge maps to its children.
+    [edges = []] is a leaf symbol. *)
+
+type transition = { children : state list; sym : sym; target : state }
+
+type t = {
+  n_states : int;
+  finals : state list;
+  transitions : transition list;
+}
+
+val make : n_states:int -> finals:state list -> transition list -> t
+(** @raise Invalid_argument if a transition's child count does not match
+    its symbol's edge count or a state is out of range. *)
+
+val sym_of_node : Code.t -> sym
+val symbols : t -> sym list
+(** Distinct symbols mentioned by the automaton. *)
+
+val size : t -> int
+(** Number of transitions. *)
+
+val accepts : t -> Code.t -> bool
+(** Bottom-up membership (sets of reachable states per subtree). *)
+
+val reachable : t -> (state, Code.t) Hashtbl.t
+(** For each reachable state, a witness code reaching it. *)
+
+val is_empty : t -> bool
+val witness : t -> Code.t option
+(** Some accepted code, if the language is non-empty. *)
+
+val product : t -> t -> t
+(** Language intersection; symbols must match exactly. *)
+
+val union : t -> t -> t
+(** Language union (disjoint sum of state spaces). *)
+
+val relabel : (Code.label -> Code.label) -> t -> t
+(** Apply a function to every transition label: the projection of
+    Proposition 5 is [relabel] with a label filter. *)
+
+val trim : t -> t
+(** Remove transitions through states that are not reachable. *)
+
+val pp_sym : sym Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,17 @@
+(** Lazy product of an explicit NTA with a symbolic deterministic automaton
+    ({!Dta.S}).
+
+    This is how the paper's intersection-and-emptiness arguments are run:
+    the NTA is a generator with finitely many concrete symbols (e.g. the
+    forward map of Prop. 3), the DTA is a property of the decoded instance
+    (e.g. (non-)satisfaction of a CQ), and we search for a code accepted by
+    both.  Complementation never needs to be materialized. *)
+
+val find :
+  Nta.t -> Dta.t -> Code.t option
+(** A code accepted by the NTA on which the DTA accepts, or [None].
+    Terminates because the DTA has finitely many states reachable from the
+    NTA's symbols. *)
+
+val check_empty : Nta.t -> Dta.t -> bool
+(** No such code exists. *)

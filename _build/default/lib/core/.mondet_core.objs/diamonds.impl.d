@@ -1,0 +1,1 @@
+lib/core/diamonds.ml: Array Const Fact Instance Parse Printf Schema Unravel View

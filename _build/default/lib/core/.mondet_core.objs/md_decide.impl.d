@@ -1,0 +1,1 @@
+lib/core/md_decide.ml: Cq Cq_dta Datalog Dl_approx Dl_fragment Dta Fmt Forward List Md_tests Run Ucq View

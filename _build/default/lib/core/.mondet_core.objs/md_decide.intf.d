@@ -1,0 +1,1 @@
+lib/core/md_decide.mli: Cq Datalog Fmt Md_tests Ucq View

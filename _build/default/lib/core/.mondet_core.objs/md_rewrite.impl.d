@@ -1,0 +1,1 @@
+lib/core/md_rewrite.ml: Array Backward Const Cq Datalog Dl_eval Fact Forward Instance Inverse_rules List Nta Printf Random Schema String Ucq View

@@ -1,0 +1,1 @@
+lib/core/md_rewrite.mli: Cq Datalog Instance Schema Ucq View

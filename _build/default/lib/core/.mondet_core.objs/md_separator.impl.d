@@ -1,0 +1,1 @@
+lib/core/md_separator.ml: Datalog Dl_eval Instance Inverse_rules List Md_tests Seq View

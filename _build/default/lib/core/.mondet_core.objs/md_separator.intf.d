@@ -1,0 +1,1 @@
+lib/core/md_separator.mli: Datalog Instance View

@@ -1,0 +1,1 @@
+lib/core/md_tests.ml: Array Const Cq Datalog Dl_approx Dl_eval Fact Fmt Hashtbl Instance List Seq View

@@ -1,0 +1,1 @@
+lib/core/md_tests.mli: Cq Datalog Fmt Instance Seq View

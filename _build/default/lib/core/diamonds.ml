@@ -1,0 +1,80 @@
+let query =
+  Parse.query ~goal:"Goal"
+    "W(x) <- A(x,y), B(y,v), C(x,z), D(z,v), U(v).
+     W(x) <- A(x,y), B(y,v), C(x,z), D(z,v), W(v).
+     Goal <- W(x), M(x)."
+
+let views =
+  [
+    View.cq "S" (Parse.cq "s(x,y,z) <- M(x), A(x,y), C(x,z)");
+    View.cq "R" (Parse.cq "r(y,z,y2,z2) <- B(y,v), D(z,v), A(v,y2), C(v,z2)");
+    View.cq "T" (Parse.cq "t(y,z,v) <- U(v), B(y,v), D(z,v)");
+  ]
+
+let schema =
+  Schema.of_list
+    [ ("A", 2); ("B", 2); ("C", 2); ("D", 2); ("M", 1); ("U", 1) ]
+
+let chain k =
+  let p i = Const.named (Printf.sprintf "p%d" i) in
+  let y i = Const.named (Printf.sprintf "y%d" i) in
+  let z i = Const.named (Printf.sprintf "z%d" i) in
+  let facts = ref [ Fact.make "M" [ p 0 ]; Fact.make "U" [ p (k + 1) ] ] in
+  for i = 0 to k do
+    facts :=
+      Fact.make "A" [ p i; y i ]
+      :: Fact.make "C" [ p i; z i ]
+      :: Fact.make "B" [ y i; p (i + 1) ]
+      :: Fact.make "D" [ z i; p (i + 1) ]
+      :: !facts
+  done;
+  Instance.of_list !facts
+
+(* the inverse rules of the three view definitions, applied to an instance
+   over the view schema (proof of Theorem 7):
+     S(x,y,z) → M(x) ∧ A(x,y) ∧ C(x,z)
+     R(y,z,y',z') → ∃v B(y,v) ∧ D(z,v) ∧ A(v,y') ∧ C(v,z')
+     T(y,z,v) → U(v) ∧ B(y,v) ∧ D(z,v) *)
+let inverse_chase j =
+  Instance.fold
+    (fun (f : Fact.t) acc ->
+      let a = f.args in
+      match f.rel with
+      | "S" ->
+          Instance.union acc
+            (Instance.of_list
+               [
+                 Fact.make "M" [ a.(0) ];
+                 Fact.make "A" [ a.(0); a.(1) ];
+                 Fact.make "C" [ a.(0); a.(2) ];
+               ])
+      | "R" ->
+          let v = Const.fresh () in
+          Instance.union acc
+            (Instance.of_list
+               [
+                 Fact.make "B" [ a.(0); v ];
+                 Fact.make "D" [ a.(1); v ];
+                 Fact.make "A" [ v; a.(2) ];
+                 Fact.make "C" [ v; a.(3) ];
+               ])
+      | "T" ->
+          Instance.union acc
+            (Instance.of_list
+               [
+                 Fact.make "U" [ a.(2) ];
+                 Fact.make "B" [ a.(0); a.(2) ];
+                 Fact.make "D" [ a.(1); a.(2) ];
+               ])
+      | _ -> acc)
+    j Instance.empty
+
+let unravelled_counterexample ~k ~depth =
+  let jk = View.image views (chain k) in
+  (* guarded (1,·)-unravelling: bags are the view-fact scopes (the facts of
+     J_k have arity up to 4, wider than the pebble count) *)
+  let u =
+    Unravel.unravel ~one_sharing:true ~bags:(Unravel.fact_scopes jk) ~k:4
+      ~depth jk
+  in
+  inverse_chase u.Unravel.instance

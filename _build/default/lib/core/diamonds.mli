@@ -1,0 +1,28 @@
+(** The Theorem 7 construction: a Monadic Datalog query over CQ views that
+    is Datalog-rewritable but not MDL-rewritable.
+
+    [Q] walks a chain of "diamonds" [A,B / C,D] from an [M]-point to a
+    [U]-point; the views [S, R, T] expose diamond halves.  The paper shows
+    the Duplicator wins (1,k)-pebble games between the view images of the
+    chain [I_k] and of an instance [I'_k] built by unravelling the view
+    image and chasing back with the inverse rules — so no MDL rewriting
+    exists, while the inverse-rules algorithm gives a Datalog one. *)
+
+val query : Datalog.query
+(** Goal ← W(x), M(x);  W by diamond steps. *)
+
+val views : View.collection
+(** S(x,y,z), R(y,z,y',z'), T(y,z,v). *)
+
+val chain : int -> Instance.t
+(** [I_k]: a chain of k+1 diamonds from an [M]-point to a [U]-point
+    (Figure 3(a)); satisfies the query. *)
+
+val unravelled_counterexample :
+  k:int -> depth:int -> Instance.t
+(** [I'_k]: apply the inverse rules to a depth-bounded (1,k)-unravelling
+    of the view image of [chain k] (the construction in the proof of
+    Theorem 7).  Does not satisfy the query, yet is (1,k)-indistinguishable
+    from [chain k] through the views at the stated depth. *)
+
+val schema : Schema.t

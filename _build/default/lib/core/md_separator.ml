@@ -1,0 +1,32 @@
+let of_rewriting r j = Dl_eval.holds_boolean r j
+
+let certain_answers_cq_views q views j =
+  Dl_eval.holds_boolean (Inverse_rules.rewrite q views) j
+
+type chase_mode = Any | All
+
+let chase_separator ?(mode = All) ?view_depth ?max_choices_per_fact
+    ?(max_chases = 512) (q : Datalog.query) views j =
+  let chases =
+    Seq.take max_chases (Md_tests.chases ?view_depth ?max_choices_per_fact views j)
+  in
+  match mode with
+  | Any -> Seq.exists (fun d -> Dl_eval.holds_boolean q d) chases
+  | All ->
+      (* the universal (co-NP) variant; on an empty chase set it is
+         vacuously true, matching certain answers over no preimages *)
+      Seq.for_all (fun d -> Dl_eval.holds_boolean q d) chases
+
+let brute_force_certain ?(max_preimages = 50) (q : Datalog.query) views
+    ~candidates j =
+  let matching =
+    List.filter (fun i -> Instance.subset j (View.image views i)) candidates
+  in
+  let rec first_n n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: r -> x :: first_n (n - 1) r
+  in
+  match first_n max_preimages matching with
+  | [] -> None
+  | ms -> Some (List.for_all (fun i -> Dl_eval.holds_boolean q i) ms)

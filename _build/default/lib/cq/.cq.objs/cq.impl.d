@@ -1,0 +1,1 @@
+lib/cq/cq.ml: Array Const Fact Fmt Gaifman Hashtbl Hom Instance Int List Printf Schema String

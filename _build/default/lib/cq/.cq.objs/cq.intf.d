@@ -1,0 +1,1 @@
+lib/cq/cq.mli: Const Fmt Instance Schema

@@ -1,0 +1,1 @@
+lib/cq/ucq.ml: Array Const Cq Fmt Int List Schema

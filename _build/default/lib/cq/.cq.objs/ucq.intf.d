@@ -1,0 +1,1 @@
+lib/cq/ucq.mli: Const Cq Fmt Instance Schema

@@ -1,0 +1,86 @@
+(** Conjunctive queries.
+
+    A CQ is a formula [q(x̄) = ∃ȳ φ(x̄,ȳ)] with [φ] a conjunction of
+    relational atoms.  Following the paper, a CQ is identified with its
+    canonical database whenever convenient: each variable becomes a fresh
+    constant, and evaluation is homomorphism search. *)
+
+
+
+type term = Var of string | Cst of Const.t
+
+type atom = { rel : string; args : term list }
+
+type t = {
+  head : string list;  (** free variables, in output order *)
+  body : atom list;
+}
+
+val atom : string -> term list -> atom
+val make : head:string list -> atom list -> t
+(** @raise Invalid_argument if a head variable does not occur in the body. *)
+
+val boolean : atom list -> t
+(** A Boolean CQ (empty head). *)
+
+val arity : t -> int
+val vars : t -> string list
+(** All variables, head first, each once. *)
+
+val exi_vars : t -> string list
+(** Existential (non-head) variables. *)
+
+val body_schema : t -> Schema.t
+
+(** {1 Canonical database} *)
+
+val const_of_var : string -> Const.t
+(** The canonical-database constant for a variable.  Injective, and disjoint
+    from constants produced by {!Const.named} on ordinary names. *)
+
+val canonical_db : t -> Instance.t
+(** [Canondb(Q)]: each atom becomes a fact, variables frozen via
+    {!const_of_var}. *)
+
+val head_consts : t -> Const.t list
+(** The canonical constants of the head variables, in head order. *)
+
+val of_instance : head:Const.t list -> Instance.t -> t
+(** Read an instance back as a CQ: every element becomes a variable, the
+    given elements become the head (in order).  Inverse of
+    {!canonical_db} up to renaming. *)
+
+(** {1 Evaluation} *)
+
+val eval : t -> Instance.t -> Const.t array list
+(** All output tuples (deduplicated). *)
+
+val holds : t -> Instance.t -> Const.t array -> bool
+val holds_boolean : t -> Instance.t -> bool
+
+(** {1 Static analysis} *)
+
+val contained_in : t -> t -> bool
+(** [contained_in q1 q2] decides [q1 ⊆ q2] (homomorphism theorem). *)
+
+val equivalent : t -> t -> bool
+
+val minimize : t -> t
+(** Core of the CQ: an equivalent CQ with minimal body. *)
+
+val radius : t -> int option
+(** Radius of the Gaifman graph of the canonical database (paper §2);
+    [None] when disconnected. *)
+
+val connected : t -> bool
+
+val rename_vars : (string -> string) -> t -> t
+val freshen : t -> t
+(** Rename all variables to globally fresh names (for disjoint unions). *)
+
+val conjoin : t -> t -> t
+(** Conjunction; variable sets are assumed disjoint except for shared head
+    variables.  Head is the concatenation (duplicates dropped). *)
+
+val pp : t Fmt.t
+val pp_atom : atom Fmt.t

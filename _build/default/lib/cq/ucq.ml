@@ -1,0 +1,50 @@
+
+
+type t = { disjuncts : Cq.t list }
+
+let make = function
+  | [] -> invalid_arg "Ucq.make: empty union"
+  | q :: rest as all ->
+      let a = Cq.arity q in
+      List.iter
+        (fun q' ->
+          if Cq.arity q' <> a then invalid_arg "Ucq.make: arity mismatch")
+        rest;
+      { disjuncts = all }
+
+let arity u = Cq.arity (List.hd u.disjuncts)
+let of_cq q = { disjuncts = [ q ] }
+
+let compare_tuple (a : Const.t array) b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i = Array.length a then 0
+      else
+        let c = Const.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let eval u inst =
+  List.concat_map (fun q -> Cq.eval q inst) u.disjuncts
+  |> List.sort_uniq compare_tuple
+
+let holds u inst tup = List.exists (fun q -> Cq.holds q inst tup) u.disjuncts
+let holds_boolean u inst = List.exists (fun q -> Cq.holds_boolean q inst) u.disjuncts
+
+let cq_contained_in q u =
+  List.exists (fun d -> Cq.contained_in q d) u.disjuncts
+
+let contained_in u1 u2 =
+  List.for_all (fun q -> cq_contained_in q u2) u1.disjuncts
+
+let equivalent u1 u2 = contained_in u1 u2 && contained_in u2 u1
+
+let body_schema u =
+  List.fold_left
+    (fun s q -> Schema.union s (Cq.body_schema q))
+    Schema.empty u.disjuncts
+
+let pp ppf u = Fmt.pf ppf "%a" Fmt.(list ~sep:(any " ∪ ") Cq.pp) u.disjuncts

@@ -1,0 +1,23 @@
+(** Unions of conjunctive queries. *)
+
+
+
+type t = { disjuncts : Cq.t list }
+(** All disjuncts must have the same arity. *)
+
+val make : Cq.t list -> t
+(** @raise Invalid_argument on arity mismatch or empty disjunct list. *)
+
+val arity : t -> int
+val of_cq : Cq.t -> t
+val eval : t -> Instance.t -> Const.t array list
+val holds : t -> Instance.t -> Const.t array -> bool
+val holds_boolean : t -> Instance.t -> bool
+
+val cq_contained_in : Cq.t -> t -> bool
+(** [q ⊆ U] iff [q] is contained in some disjunct (Sagiv–Yannakakis). *)
+
+val contained_in : t -> t -> bool
+val equivalent : t -> t -> bool
+val body_schema : t -> Schema.t
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/datalog/datalog.ml: Cq Fmt Hashtbl List Printf Schema String Ucq

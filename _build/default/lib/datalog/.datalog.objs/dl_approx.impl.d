@@ -1,0 +1,1 @@
+lib/datalog/dl_approx.ml: Cq Datalog Fmt Hashtbl List Printf Schema Smap String

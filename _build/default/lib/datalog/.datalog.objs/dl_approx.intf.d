@@ -1,0 +1,1 @@
+lib/datalog/dl_approx.mli: Cq Datalog

@@ -1,0 +1,1 @@
+lib/datalog/dl_binarize.ml: Cq Datalog List Printf String

@@ -1,0 +1,1 @@
+lib/datalog/dl_binarize.mli: Datalog

@@ -1,0 +1,1 @@
+lib/datalog/dl_eval.ml: Array Const Cq Datalog Fact Instance List Smap

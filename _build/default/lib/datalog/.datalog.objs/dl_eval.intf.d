@@ -1,0 +1,1 @@
+lib/datalog/dl_eval.mli: Const Cq Datalog Instance Smap

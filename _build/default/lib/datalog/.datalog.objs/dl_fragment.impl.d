@@ -1,0 +1,1 @@
+lib/datalog/dl_fragment.ml: Cq Datalog Dl_approx Fmt List Schema String Ucq

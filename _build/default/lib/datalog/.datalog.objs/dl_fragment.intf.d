@@ -1,0 +1,1 @@
+lib/datalog/dl_fragment.mli: Datalog Fmt Ucq

@@ -1,0 +1,1 @@
+lib/datalog/dl_normalize.ml: Cq Datalog List Option Smap String

@@ -1,0 +1,1 @@
+lib/datalog/dl_specialize.ml: Array Cq Datalog Hashtbl List Printf Queue Smap String

@@ -1,0 +1,1 @@
+lib/datalog/dl_specialize.mli: Cq Datalog

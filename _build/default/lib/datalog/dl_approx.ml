@@ -1,0 +1,154 @@
+let formal_head p name =
+  let n =
+    match Schema.arity (Datalog.schema p) name with
+    | Some n -> n
+    | None -> invalid_arg ("Dl_approx: unknown predicate " ^ name)
+  in
+  List.init n (fun i -> Printf.sprintf "%s#%d" name i)
+
+(* canonical renaming: variables numbered by first occurrence; iterate
+   (rename, sort atoms) twice to make the key mostly order-insensitive. *)
+let canonical_string (q : Cq.t) =
+  let rename (q : Cq.t) =
+    let tbl = Hashtbl.create 16 and n = ref 0 in
+    let var v =
+      match Hashtbl.find_opt tbl v with
+      | Some v' -> v'
+      | None ->
+          let v' = Printf.sprintf "v%d" !n in
+          incr n;
+          Hashtbl.add tbl v v';
+          v'
+    in
+    let tm = function Cq.Var v -> Cq.Var (var v) | Cq.Cst c -> Cq.Cst c in
+    let head = List.map var q.head in
+    let body =
+      List.map (fun (a : Cq.atom) -> { a with args = List.map tm a.args }) q.body
+    in
+    { Cq.head; body }
+  in
+  let sort_body (q : Cq.t) =
+    { q with body = List.sort compare q.body }
+  in
+  let q = sort_body (rename (sort_body (rename q))) in
+  Fmt.str "%a" Cq.pp q
+
+let subst_term m = function
+  | Cq.Cst c -> Cq.Cst c
+  | Cq.Var v -> ( match Smap.find_opt v m with Some t -> t | None -> Cq.Var v)
+
+let subst_atom m (a : Cq.atom) = { a with args = List.map (subst_term m) a.args }
+
+(* Substitute an approximation [q] (over formal head vars) for the IDB atom
+   [a]: freshen existentials, map head vars to the atom's argument terms. *)
+let plug (q : Cq.t) (a : Cq.atom) : Cq.atom list =
+  let q = Cq.freshen q in
+  let m =
+    List.fold_left2
+      (fun m h t -> Smap.add h t m)
+      Smap.empty q.head a.args
+  in
+  List.map (subst_atom m) q.body
+
+let distinct_head_vars (r : Datalog.rule) =
+  let vs = Datalog.head_vars r in
+  List.length vs = List.length (List.sort_uniq String.compare vs)
+
+let approximations_of_pred ?(max_depth = 4) ?(max_count = 2000) p name =
+  List.iter
+    (fun r ->
+      if not (distinct_head_vars r) then
+        invalid_arg "Dl_approx: rule head with repeated variables")
+    p;
+  let idb = Datalog.is_idb p in
+  (* memo.(pred) at depth d: approximations with derivation depth ≤ d,
+     heads = formal vars. *)
+  let memo : (string * int, Cq.t list) Hashtbl.t = Hashtbl.create 16 in
+  let dedup qs =
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun q ->
+        let key = canonical_string q in
+        if Hashtbl.mem seen key then false
+        else (
+          Hashtbl.add seen key ();
+          true))
+      qs
+  in
+  let take n l =
+    let rec go n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: go (n - 1) rest
+    in
+    go n l
+  in
+  let rec approx pred depth =
+    match Hashtbl.find_opt memo (pred, depth) with
+    | Some r -> r
+    | None ->
+        let result =
+          if depth = 0 then []
+          else
+            let per_rule (r : Datalog.rule) =
+              (* rename the rule apart, then map its head vars to the
+                 formal variables of [pred]. *)
+              let r = Datalog.rename_rule_apart r in
+              let m =
+                List.fold_left2
+                  (fun m hv fv -> Smap.add hv (Cq.Var fv) m)
+                  Smap.empty (Datalog.head_vars r) (formal_head p pred)
+              in
+              let body = List.map (subst_atom m) r.body in
+              let intensional, extensional =
+                List.partition (fun (a : Cq.atom) -> idb a.rel) body
+              in
+              (* choices: for each intensional atom, an approximation of
+                 depth ≤ depth-1 *)
+              let rec expand acc = function
+                | [] -> [ acc ]
+                | a :: rest ->
+                    let subs = approx a.Cq.rel (depth - 1) in
+                    List.concat_map
+                      (fun q -> expand (acc @ plug q a) rest)
+                      (take max_count subs)
+              in
+              take max_count (expand extensional intensional)
+            in
+            let bodies = List.concat_map per_rule (Datalog.rules_for p pred) in
+            let qs =
+              List.map
+                (fun body -> Cq.make ~head:(formal_head p pred) body)
+                (List.filter
+                   (fun body ->
+                     (* every formal head var must occur in the body *)
+                     let bv =
+                       List.concat_map
+                         (fun (a : Cq.atom) ->
+                           List.filter_map
+                             (function Cq.Var v -> Some v | Cq.Cst _ -> None)
+                             a.args)
+                         body
+                     in
+                     List.for_all (fun v -> List.mem v bv) (formal_head p pred))
+                   bodies)
+            in
+            take max_count (dedup qs)
+        in
+        Hashtbl.add memo (pred, depth) result;
+        result
+  in
+  approx name max_depth
+
+let approximations ?max_depth ?max_count (q : Datalog.query) =
+  approximations_of_pred ?max_depth ?max_count q.program q.goal
+
+let is_nonrecursive p =
+  List.for_all (fun name -> not (Datalog.depends_on p name name)) (Datalog.idbs p)
+
+let complete_unfolding ?(max_count = 2000) (q : Datalog.query) =
+  if not (is_nonrecursive q.program) then None
+  else
+    let depth = List.length (Datalog.idbs q.program) + 1 in
+    let qs = approximations ~max_depth:depth ~max_count:(max_count + 1) q in
+    if List.length qs > max_count then None else Some qs

@@ -1,0 +1,59 @@
+let atom_vars (a : Cq.atom) =
+  List.filter_map (function Cq.Var v -> Some v | Cq.Cst _ -> None) a.Cq.args
+  |> List.sort_uniq String.compare
+
+let vars_of atoms = List.concat_map atom_vars atoms |> List.sort_uniq String.compare
+
+let max_idb_atoms_per_rule p =
+  let idb = Datalog.is_idb p in
+  List.fold_left
+    (fun m (r : Datalog.rule) ->
+      max m (List.length (List.filter (fun (a : Cq.atom) -> idb a.Cq.rel) r.Datalog.body)))
+    0 p
+
+let transform ?(max_idb_atoms = 2) (q : Datalog.query) =
+  if max_idb_atoms < 2 then invalid_arg "Dl_binarize: bound must be ≥ 2";
+  let idb = Datalog.is_idb q.Datalog.program in
+  let out = ref [] in
+  let emit r = out := r :: !out in
+  List.iteri
+    (fun rule_idx (r : Datalog.rule) ->
+      let intensional, extensional =
+        List.partition (fun (a : Cq.atom) -> idb a.Cq.rel) r.Datalog.body
+      in
+      if List.length intensional <= max_idb_atoms then emit r
+      else begin
+        let aux_name j =
+          Printf.sprintf "%s&%d&%d" r.Datalog.head.Cq.rel rule_idx j
+        in
+        (* delegate [covered] to auxiliary number [j]; [outside] are the
+           variables of the rest of the original rule (head included);
+           returns the auxiliary atom to put in the delegating rule *)
+        let rec delegate j covered outside =
+          let shared =
+            List.filter (fun v -> List.mem v outside) (vars_of covered)
+          in
+          let aux = Cq.atom (aux_name j) (List.map (fun v -> Cq.Var v) shared) in
+          (match covered with
+          | [ _ ] | [ _; _ ] -> emit (Datalog.rule aux covered)
+          | first :: rest ->
+              let outside' =
+                List.sort_uniq String.compare (shared @ atom_vars first)
+              in
+              let tail_atom = delegate (j + 1) rest outside' in
+              emit (Datalog.rule aux [ first; tail_atom ])
+          | [] -> assert false);
+          aux
+        in
+        match intensional with
+        | first :: rest ->
+            let outside =
+              List.sort_uniq String.compare
+                (Datalog.head_vars r @ vars_of extensional @ atom_vars first)
+            in
+            let aux_atom = delegate 0 rest outside in
+            emit (Datalog.rule r.Datalog.head (extensional @ [ first; aux_atom ]))
+        | [] -> assert false
+      end)
+    q.Datalog.program;
+  Datalog.query (List.rev !out) q.Datalog.goal

@@ -1,0 +1,15 @@
+(** Bounding the number of intensional atoms per rule.
+
+    The forward mapping (Prop. 3) turns each rule into a tree-automaton
+    transition with one child per intensional body atom; emptiness-style
+    searches then enumerate tuples of child states, which is exponential
+    in the branching.  This transformation chains the intensional atoms of
+    wide rules through fresh auxiliary predicates so that every rule keeps
+    at most two of them — the paper's "0 or 2 IDB atoms" normalization,
+    done semantics-preservingly. *)
+
+val transform : ?max_idb_atoms:int -> Datalog.query -> Datalog.query
+(** Default bound 2.  Auxiliary predicates are named [pred&i&j] after the
+    head predicate, rule index, and chain position. *)
+
+val max_idb_atoms_per_rule : Datalog.program -> int

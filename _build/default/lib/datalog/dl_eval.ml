@@ -1,0 +1,119 @@
+type env = Const.t Smap.t
+
+(* Match a single atom against an instance, extending [env]. *)
+let match_atom inst (a : Cq.atom) env yield =
+  let bound = ref [] in
+  List.iteri
+    (fun i t ->
+      match t with
+      | Cq.Cst c -> bound := (i, c) :: !bound
+      | Cq.Var v -> (
+          match Smap.find_opt v env with
+          | Some c -> bound := (i, c) :: !bound
+          | None -> ()))
+    a.args;
+  let candidates = Instance.tuples_with inst a.rel !bound in
+  let rec go = function
+    | [] -> true
+    | tup :: rest ->
+        if Array.length tup <> List.length a.args then go rest
+        else
+          let env' = ref env and ok = ref true in
+          List.iteri
+            (fun i t ->
+              if !ok then
+                match t with
+                | Cq.Cst c -> if not (Const.equal c tup.(i)) then ok := false
+                | Cq.Var v -> (
+                    match Smap.find_opt v !env' with
+                    | Some c -> if not (Const.equal c tup.(i)) then ok := false
+                    | None -> env' := Smap.add v tup.(i) !env'))
+            a.args;
+          if !ok then if yield !env' then go rest else false else go rest
+  in
+  ignore (go candidates)
+
+(* Enumerate all matches of [atoms] into [inst]; continuation-passing with
+   an early-stop boolean protocol mirroring {!Hom.enumerate}. *)
+let rec match_all inst atoms env yield =
+  match atoms with
+  | [] -> yield env
+  | a :: rest ->
+      let continue_ = ref true in
+      match_atom inst a env (fun env' ->
+          let c = match_all inst rest env' yield in
+          continue_ := c;
+          c);
+      !continue_
+
+let match_body ?delta inst atoms env yield =
+  match delta with
+  | None -> ignore (match_all inst atoms env yield)
+  | Some d ->
+      (* at least one atom must match the delta: try each atom first
+         against the delta, the rest against the full instance. *)
+      let rec split pre = function
+        | [] -> true
+        | a :: post ->
+            let cont = ref true in
+            match_atom d a env (fun env' ->
+                let c = match_all inst (List.rev_append pre post) env' yield in
+                cont := c;
+                c);
+            if !cont then split (a :: pre) post else false
+      in
+      ignore (split [] atoms)
+
+let head_fact (r : Datalog.rule) env =
+  let args =
+    List.map
+      (function
+        | Cq.Var v -> Smap.find v env
+        | Cq.Cst _ -> assert false (* ruled out by Datalog.rule *))
+      r.head.Cq.args
+  in
+  Fact.make r.head.Cq.rel args
+
+let fixpoint p inst =
+  (* initial round: naive evaluation of every rule *)
+  let fire ?delta full =
+    let fresh = ref Instance.empty in
+    List.iter
+      (fun (r : Datalog.rule) ->
+        match_body ?delta full r.body Smap.empty (fun env ->
+            let f = head_fact r env in
+            if not (Instance.mem f full) then fresh := Instance.add f !fresh;
+            true))
+      p;
+    !fresh
+  in
+  let rec loop full delta =
+    if Instance.is_empty delta then full
+    else
+      let fresh = fire ~delta full in
+      let fresh = Instance.diff fresh full in
+      loop (Instance.union full fresh) fresh
+  in
+  let first = fire inst in
+  loop (Instance.union inst first) first
+
+let eval (q : Datalog.query) inst =
+  let fp = fixpoint q.program inst in
+  Instance.tuples fp q.goal
+
+let holds q inst tup =
+  List.exists
+    (fun t -> Array.length t = Array.length tup
+              && Array.for_all2 Const.equal t tup)
+    (eval q inst)
+
+let holds_boolean q inst = eval q inst <> []
+
+let contained_cq_in (cq : Cq.t) q =
+  let db = Cq.canonical_db cq in
+  let tup = Array.of_list (Cq.head_consts cq) in
+  holds q db tup
+
+let equivalent_on q1 q2 insts =
+  let norm ts = List.sort compare (List.map Array.to_list ts) in
+  List.for_all (fun i -> norm (eval q1 i) = norm (eval q2 i)) insts

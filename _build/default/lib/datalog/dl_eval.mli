@@ -1,0 +1,34 @@
+(** Bottom-up (semi-naive) evaluation of Datalog programs.
+
+    [fixpoint p i] is the paper's [FPEval(Π, I)]: the minimal IDB-extension
+    of [I] satisfying all rules of [Π]. *)
+
+type env = Const.t Smap.t
+(** Variable bindings, see {!Smap}. *)
+
+val match_body :
+  ?delta:Instance.t ->
+  Instance.t ->
+  Cq.atom list ->
+  env ->
+  (env -> bool) ->
+  unit
+(** [match_body ?delta inst atoms env yield] enumerates extensions of [env]
+    matching all atoms into [inst]; when [delta] is given, at least one atom
+    must match a fact of [delta].  [yield] returns false to stop early. *)
+
+val fixpoint : Datalog.program -> Instance.t -> Instance.t
+(** Least fixpoint; returns the input instance extended with IDB facts. *)
+
+val eval : Datalog.query -> Instance.t -> Const.t array list
+(** Goal tuples of the query on the instance. *)
+
+val holds : Datalog.query -> Instance.t -> Const.t array -> bool
+val holds_boolean : Datalog.query -> Instance.t -> bool
+
+val contained_cq_in : Cq.t -> Datalog.query -> bool
+(** [contained_cq_in q p] decides [q ⊆ p]: evaluate [p] on the canonical
+    database of [q] and test the head tuple. *)
+
+val equivalent_on : Datalog.query -> Datalog.query -> Instance.t list -> bool
+(** Differential check: the two queries agree on all given instances. *)

@@ -1,0 +1,60 @@
+let is_monadic p =
+  let idb_schema = Datalog.idb_schema p in
+  List.for_all (fun (_, n) -> n <= 1) (Schema.relations idb_schema)
+
+let is_frontier_guarded_rule p (r : Datalog.rule) =
+  let hv = Datalog.head_vars r |> List.sort_uniq String.compare in
+  hv = []
+  || List.exists
+       (fun (a : Cq.atom) ->
+         (not (Datalog.is_idb p a.rel))
+         && List.for_all
+              (fun v -> List.mem (Cq.Var v) a.args)
+              hv)
+       r.body
+
+let is_syntactically_frontier_guarded p =
+  List.for_all (is_frontier_guarded_rule p) p
+
+let is_frontier_guarded p = is_syntactically_frontier_guarded p || is_monadic p
+
+let is_nonrecursive p =
+  List.for_all (fun name -> not (Datalog.depends_on p name name)) (Datalog.idbs p)
+
+let is_linear p =
+  List.for_all
+    (fun (r : Datalog.rule) ->
+      List.length (List.filter (fun (a : Cq.atom) -> Datalog.is_idb p a.rel) r.body)
+      <= 1)
+    p
+
+type fragment = CQ | UCQ | MDL | FGDL | DATALOG
+
+let classify (q : Datalog.query) =
+  if is_nonrecursive q.program then
+    (* nonrecursive queries over a single goal: CQ if one goal rule and no
+       auxiliary IDBs feed it through multiple rules *)
+    match Dl_approx.complete_unfolding ~max_count:64 q with
+    | Some [ _ ] -> CQ
+    | Some _ -> UCQ
+    | None -> if is_monadic q.program then MDL
+              else if is_syntactically_frontier_guarded q.program then FGDL
+              else DATALOG
+  else if is_monadic q.program then MDL
+  else if is_syntactically_frontier_guarded q.program then FGDL
+  else DATALOG
+
+let pp_fragment ppf f =
+  Fmt.string ppf
+    (match f with
+    | CQ -> "CQ"
+    | UCQ -> "UCQ"
+    | MDL -> "MDL"
+    | FGDL -> "FGDL"
+    | DATALOG -> "Datalog")
+
+let to_ucq (q : Datalog.query) =
+  match Dl_approx.complete_unfolding q with
+  | None -> None
+  | Some [] -> None
+  | Some qs -> Some (Ucq.make qs)

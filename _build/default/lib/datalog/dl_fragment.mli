@@ -1,0 +1,32 @@
+(** Fragments of Datalog used in the paper: Monadic Datalog (MDL) and
+    frontier-guarded Datalog (FGDL). *)
+
+val is_monadic : Datalog.program -> bool
+(** All intensional predicates have arity ≤ 1 (we allow the 0-ary goal
+    predicates the paper's constructions use). *)
+
+val is_frontier_guarded_rule : Datalog.program -> Datalog.rule -> bool
+(** All head variables co-occur in a single extensional body atom. *)
+
+val is_frontier_guarded : Datalog.program -> bool
+(** FGDL in the paper's sense: either syntactically frontier-guarded, or
+    monadic (the paper declares MDL ⊆ FGDL by convention). *)
+
+val is_syntactically_frontier_guarded : Datalog.program -> bool
+
+val is_nonrecursive : Datalog.program -> bool
+(** No IDB depends on itself. *)
+
+val is_linear : Datalog.program -> bool
+(** Every rule body has at most one IDB atom. *)
+
+type fragment = CQ | UCQ | MDL | FGDL | DATALOG
+
+val classify : Datalog.query -> fragment
+(** The smallest fragment (in the paper's hierarchy) containing the
+    query. *)
+
+val pp_fragment : fragment Fmt.t
+
+val to_ucq : Datalog.query -> Ucq.t option
+(** For a nonrecursive query: the equivalent UCQ (full unfolding). *)

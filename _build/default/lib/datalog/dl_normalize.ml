@@ -1,0 +1,88 @@
+exception Diverged
+
+let offending_atom p (r : Datalog.rule) =
+  if not (Datalog.is_recursive_rule p r) then None
+  else
+    let hv = Datalog.head_vars r in
+    List.find_opt
+      (fun (a : Cq.atom) ->
+        Datalog.is_idb p a.rel
+        && List.exists
+             (function Cq.Var v -> List.mem v hv | Cq.Cst _ -> false)
+             a.args)
+      r.body
+
+let violations p =
+  List.filter_map
+    (fun r -> Option.map (fun a -> (r, a)) (offending_atom p r))
+    p
+
+let is_normalized p = violations p = []
+
+let cq_of_rule (r : Datalog.rule) =
+  Cq.make ~head:(Datalog.head_vars r) r.body
+
+let rule_subsumes (r1 : Datalog.rule) (r2 : Datalog.rule) =
+  String.equal r1.head.Cq.rel r2.head.Cq.rel
+  && List.length r1.head.Cq.args = List.length r2.head.Cq.args
+  && Cq.contained_in (cq_of_rule r2) (cq_of_rule r1)
+
+let subst_term m = function
+  | Cq.Cst c -> Cq.Cst c
+  | Cq.Var v -> ( match Smap.find_opt v m with Some t -> t | None -> Cq.Var v)
+
+let subst_atom m (a : Cq.atom) = { a with args = List.map (subst_term m) a.args }
+
+(* Unfold atom [a] in rule [r] using defining rule [def]. *)
+let unfold_with (r : Datalog.rule) (a : Cq.atom) (def : Datalog.rule) =
+  let def = Datalog.rename_rule_apart def in
+  let m =
+    List.fold_left2
+      (fun m hv t -> Smap.add hv t m)
+      Smap.empty (Datalog.head_vars def) a.Cq.args
+  in
+  let expanded = List.map (subst_atom m) def.body in
+  let body =
+    List.concat_map (fun b -> if b == a then expanded else [ b ]) r.body
+  in
+  Datalog.rule r.head body
+
+(* A rule whose head atom occurs in its own body is redundant: firing it
+   presupposes its conclusion, so it contributes nothing to the least
+   fixpoint.  Deleting such rules is also what makes the unfolding
+   saturation below terminate on self-recursive rules. *)
+let head_in_body (r : Datalog.rule) =
+  List.exists (fun (a : Cq.atom) -> a = r.head) r.body
+
+let normalize ?(max_steps = 2000) (q : Datalog.query) =
+  let steps = ref 0 in
+  let rec go (rules : Datalog.program) =
+    let rules = List.filter (fun r -> not (head_in_body r)) rules in
+    match
+      List.find_map
+        (fun r -> Option.map (fun a -> (r, a)) (offending_atom rules r))
+        rules
+    with
+    | None -> rules
+    | Some (r, a) ->
+        incr steps;
+        if !steps > max_steps then raise Diverged;
+        let others = List.filter (fun r' -> r' != r) rules in
+        let unfoldings =
+          List.map (unfold_with r a) (Datalog.rules_for rules a.Cq.rel)
+          |> List.filter (fun u -> not (head_in_body u))
+        in
+        (* keep an unfolding only if no existing rule subsumes it *)
+        let keep u =
+          not (List.exists (fun r' -> rule_subsumes r' u) others)
+        in
+        let fresh = List.filter keep unfoldings in
+        (* also drop older rules subsumed by a fresh one *)
+        let others =
+          List.filter
+            (fun r' -> not (List.exists (fun u -> rule_subsumes u r') fresh))
+            others
+        in
+        go (others @ fresh)
+  in
+  { q with program = go q.program }

@@ -1,0 +1,25 @@
+(** Normalization of Monadic Datalog (paper Prop. 2, after [12]).
+
+    An MDL query is {e normalized} when the body of any recursive rule
+    contains no IDB atom mentioning the head variable.  Normalization
+    matters because CQ approximations of normalized queries admit tree
+    decompositions with treespan [l(TD) ≤ 2] (Lemma 1), the hypothesis of
+    the view-image treewidth bound (Lemma 3). *)
+
+exception Diverged
+
+val is_normalized : Datalog.program -> bool
+
+val violations : Datalog.program -> (Datalog.rule * Cq.atom) list
+(** The (recursive rule, offending IDB atom) pairs. *)
+
+val normalize : ?max_steps:int -> Datalog.query -> Datalog.query
+(** Repeatedly unfold offending IDB atoms with the rules defining them,
+    dropping rules subsumed by existing ones.  Semantics-preserving.
+    @raise Diverged if the saturation exceeds [max_steps] (default 2000)
+    rule rewrites. *)
+
+val rule_subsumes : Datalog.rule -> Datalog.rule -> bool
+(** [rule_subsumes r1 r2]: every fact derivable by firing [r2] is derivable
+    by firing [r1] (same head predicate; body containment fixing head
+    variables). *)

@@ -1,0 +1,97 @@
+let repeat_pattern (args : Cq.term list) =
+  let seen = Hashtbl.create 8 in
+  let ok = ref true in
+  let pattern =
+    List.mapi
+      (fun i t ->
+        match t with
+        | Cq.Cst _ ->
+            ok := false;
+            i
+        | Cq.Var v -> (
+            match Hashtbl.find_opt seen v with
+            | Some j -> j
+            | None ->
+                Hashtbl.add seen v i;
+                i))
+      args
+  in
+  if !ok then Some pattern else None
+
+let is_identity pattern = List.for_all2 ( = ) pattern (List.mapi (fun i _ -> i) pattern)
+
+let specialized_name pred pattern =
+  Printf.sprintf "%s^%s" pred (String.concat "" (List.map string_of_int pattern))
+
+let subst_term m = function
+  | Cq.Cst c -> Cq.Cst c
+  | Cq.Var v -> ( match Smap.find_opt v m with Some t -> t | None -> Cq.Var v)
+
+let subst_atom m (a : Cq.atom) = { a with args = List.map (subst_term m) a.args }
+
+let transform (q : Datalog.query) =
+  let idb = Datalog.is_idb q.Datalog.program in
+  let out = ref [] in
+  let done_ = Hashtbl.create 16 in
+  let worklist = Queue.create () in
+  (* rewrite a body atom, enqueuing needed specializations *)
+  let rewrite_atom (a : Cq.atom) =
+    if not (idb a.Cq.rel) then a
+    else
+      match repeat_pattern a.Cq.args with
+      | None -> invalid_arg "Dl_specialize: constant in an intensional atom"
+      | Some pattern when is_identity pattern -> a
+      | Some pattern ->
+          let name = specialized_name a.Cq.rel pattern in
+          if not (Hashtbl.mem done_ (a.Cq.rel, pattern)) then (
+            Hashtbl.add done_ (a.Cq.rel, pattern) ();
+            Queue.add (a.Cq.rel, pattern) worklist);
+          let reduced =
+            List.filteri (fun i _ -> List.nth pattern i = i) a.Cq.args
+          in
+          { Cq.rel = name; args = reduced }
+  in
+  (* original rules, with bodies rewritten *)
+  List.iter
+    (fun (r : Datalog.rule) ->
+      out :=
+        Datalog.rule r.Datalog.head (List.map rewrite_atom r.Datalog.body)
+        :: !out)
+    q.Datalog.program;
+  (* specialized rules *)
+  while not (Queue.is_empty worklist) do
+    let pred, pattern = Queue.pop worklist in
+    List.iter
+      (fun (r : Datalog.rule) ->
+        let hv =
+          List.map
+            (function
+              | Cq.Var v -> v
+              | Cq.Cst _ -> invalid_arg "Dl_specialize: constant in a head")
+            r.Datalog.head.Cq.args
+        in
+        if List.length hv <> List.length (List.sort_uniq String.compare hv)
+        then invalid_arg "Dl_specialize: repeated head variables";
+        let hv_arr = Array.of_list hv in
+        (* unify head variables per the pattern *)
+        let m =
+          List.fold_left
+            (fun m (i, j) ->
+              if i = j then m
+              else Smap.add hv_arr.(i) (Cq.Var hv_arr.(j)) m)
+            Smap.empty
+            (List.mapi (fun i j -> (i, j)) pattern)
+        in
+        let head_args =
+          List.filteri (fun i _ -> List.nth pattern i = i) r.Datalog.head.Cq.args
+        in
+        let head =
+          { Cq.rel = specialized_name pred pattern; args = head_args }
+        in
+        let body =
+          List.map (fun a -> rewrite_atom (subst_atom m a)) r.Datalog.body
+        in
+        out := Datalog.rule head body :: !out)
+      (Datalog.rules_for q.Datalog.program pred)
+  done;
+  Datalog.query (List.rev !out) q.Datalog.goal

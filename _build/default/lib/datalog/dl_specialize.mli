@@ -1,0 +1,23 @@
+(** Elimination of repeated variables in intensional body atoms.
+
+    An atom [P(x,y,x)] is replaced by [P^010(x,y)], where the new
+    predicate is defined by the rules of [P] with head variables unified
+    according to the pattern.  The transformation is semantics-preserving
+    and produces a program in which every intensional body atom has
+    pairwise-distinct variables — the shape required by the forward
+    mapping (Prop. 3), whose codes connect child bags through partial
+    1-1 maps. *)
+
+val repeat_pattern : Cq.term list -> int list option
+(** First-occurrence pattern of the variables, or [None] if the atom
+    contains a constant.  [Some [0;1;0]] for [(x,y,x)]; the identity
+    pattern means no repetition. *)
+
+val specialized_name : string -> int list -> string
+
+val transform : Datalog.query -> Datalog.query
+(** The specialized query (same goal; the goal predicate is never
+    specialized since it is not a body atom of itself... it is renamed only
+    if some rule uses it with repeats).
+    @raise Invalid_argument on constants in intensional atoms or repeated
+    head variables. *)

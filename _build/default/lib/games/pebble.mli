@@ -1,0 +1,30 @@
+(** Existential pebble games (paper §7).
+
+    The Duplicator wins the existential k-pebble game on [(I, I')] iff
+    there is a non-empty family of partial homomorphisms of domain size
+    ≤ k that is closed under restrictions and has the forth (extension)
+    property (Fact 5).  We compute the greatest such family by the
+    standard k-consistency deletion fixpoint.
+
+    [I →k I'] (Duplicator wins) is implied by [I → I'] and, by Fact 1,
+    coincides with "every instance of treewidth < k mapping into [I] also
+    maps into [I']". *)
+
+type family
+(** A winning family of partial homomorphisms. *)
+
+val kconsistent : k:int -> Instance.t -> Instance.t -> family option
+(** The greatest winning family for the existential k-pebble game, or
+    [None] when the Spoiler wins. *)
+
+val duplicator_wins : k:int -> Instance.t -> Instance.t -> bool
+
+val one_k_consistent : k:int -> Instance.t -> Instance.t -> bool
+(** The (1,k) variant used against Monadic Datalog (Fact 3): between
+    moves at most one pebble keeps its position, so the family must allow
+    jumping from any placement to any other domain set while preserving a
+    single chosen pebble. *)
+
+val family_size : family -> int
+val family_mem : family -> (Const.t * Const.t) list -> bool
+(** Is the given partial map (sorted or not) in the family? *)

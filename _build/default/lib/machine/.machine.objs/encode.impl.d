@@ -1,0 +1,1 @@
+lib/machine/encode.ml: Const Fact Instance List Printf Schema String Tm

@@ -1,0 +1,1 @@
+lib/machine/th9.ml: Array Buffer Const Cq Datalog Encode Instance List Parse Printf String Tm View

@@ -1,0 +1,1 @@
+lib/machine/th9.mli: Datalog Instance Tm View

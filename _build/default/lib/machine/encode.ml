@@ -1,0 +1,88 @@
+let sanitize s =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+      then c
+      else if c = '_' then 'b'
+      else '_')
+    s
+
+let cell_rel sym = "Cell_" ^ sanitize sym
+let input_rel c = Printf.sprintf "In_%s" (sanitize (String.make 1 c))
+
+let c s = Const.named s
+
+let encode_input w =
+  let n = String.length w in
+  let cell j = c (Printf.sprintf "i%d" j) in
+  let facts = ref [ Fact.make "InpBegin" [ c "ib" ]; Fact.make "InpEnd" [ c "ie" ] ] in
+  let add f = facts := f :: !facts in
+  add (Fact.make "Succ" [ c "ib"; (if n = 0 then c "ie" else cell 0) ]);
+  for j = 0 to n - 1 do
+    add (Fact.make (input_rel w.[j]) [ cell j ]);
+    add
+      (Fact.make "Succ" [ cell j; (if j = n - 1 then c "ie" else cell (j + 1)) ])
+  done;
+  Instance.of_list !facts
+
+let encode_run ?max_steps (m : Tm.t) w =
+  let configs, _ = Tm.run ?max_steps m w in
+  let width =
+    List.fold_left
+      (fun acc (cf : Tm.config) ->
+        max acc (List.length cf.Tm.left + 1 + List.length cf.Tm.right))
+      (String.length w + 1)
+      configs
+  in
+  let rows = List.map (Tm.config_cells m ~width) configs in
+  let cell t j = c (Printf.sprintf "c%d_%d" t j) in
+  let facts = ref (Instance.facts (encode_input w)) in
+  let add f = facts := f :: !facts in
+  let n_rows = List.length rows in
+  List.iteri
+    (fun t row ->
+      List.iteri
+        (fun j sym ->
+          add (Fact.make (cell_rel sym) [ cell t j ]);
+          if j < width - 1 then add (Fact.make "SuccR" [ cell t j; cell t (j + 1) ]))
+        row;
+      (* separator / end marker after the row *)
+      if t < n_rows - 1 then begin
+        let sep = c (Printf.sprintf "s%d" t) in
+        add (Fact.make "SuccR" [ cell t (width - 1); sep ]);
+        add (Fact.make "Sep" [ sep ]);
+        add (Fact.make "SuccR" [ sep; cell (t + 1) 0 ]);
+        (* alignment between consecutive configurations *)
+        for j = 0 to width - 1 do
+          add (Fact.make "Align" [ cell t j; cell (t + 1) j ])
+        done
+      end
+      else begin
+        add (Fact.make "SuccR" [ cell t (width - 1); c "rend" ]);
+        add (Fact.make "RunEnd" [ c "rend" ])
+      end)
+    rows;
+  (* link the input part to the first configuration *)
+  add (Fact.make "SuccR" [ c "ie"; cell 0 0 ]);
+  for j = 0 to min (String.length w) width - 1 do
+    add (Fact.make "InputAlign" [ c (Printf.sprintf "i%d" j); cell 0 j ])
+  done;
+  Instance.of_list !facts
+
+let schema (m : Tm.t) =
+  let cells =
+    List.map (fun ch -> (cell_rel (String.make 1 ch), 1)) m.Tm.tape_alphabet
+    @ List.concat_map
+        (fun q ->
+          List.map
+            (fun ch -> (cell_rel (Printf.sprintf "%s|%c" q ch), 1))
+            m.Tm.tape_alphabet)
+        m.Tm.states
+  in
+  Schema.of_list
+    ([
+       ("Succ", 2); ("SuccR", 2); ("InpBegin", 1); ("InpEnd", 1);
+       ("Sep", 1); ("RunEnd", 1); ("Align", 2); ("InputAlign", 2);
+     ]
+    @ List.map (fun ch -> (input_rel ch, 1)) m.Tm.tape_alphabet
+    @ cells)

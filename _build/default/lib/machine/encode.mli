@@ -1,0 +1,23 @@
+(** Relational encodings of machine runs (Theorem 9).
+
+    A run of a machine on input [w] becomes a "run-string instance": the
+    input part [σInpBegin w σInpEnd] over [Succ]/[In_c], the configuration
+    part over [SuccR]/[Cell_*] with separators and a final [RunEnd]
+    marker, plus an explicit [Align] relation between corresponding cells
+    of consecutive configurations and [InputAlign] between the input and
+    the first configuration.  ([Align] replaces the paper's reliance on
+    homomorphic string images; see DESIGN.md §5.) *)
+
+val cell_rel : string -> string
+(** Relation name of a configuration-cell symbol. *)
+
+val input_rel : char -> string
+(** Relation name of an input letter. *)
+
+val encode_input : string -> Instance.t
+(** Just the input part. *)
+
+val encode_run : ?max_steps:int -> Tm.t -> string -> Instance.t
+(** Input part plus the full run of the machine. *)
+
+val schema : Tm.t -> Schema.t

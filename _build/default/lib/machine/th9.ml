@@ -1,0 +1,110 @@
+let accept_cell_rels (m : Tm.t) =
+  List.map
+    (fun ch -> Encode.cell_rel (Printf.sprintf "%s|%c" m.Tm.accept ch))
+    m.Tm.tape_alphabet
+
+let halting_cell_rels (m : Tm.t) =
+  List.concat_map
+    (fun q ->
+      List.map
+        (fun ch -> Encode.cell_rel (Printf.sprintf "%s|%c" q ch))
+        m.Tm.tape_alphabet)
+    m.Tm.halting
+
+let query (m : Tm.t) =
+  let acc_rules =
+    List.map
+      (fun rel -> Datalog.rule (Cq.atom "Acc" [ Cq.Var "z" ]) [ Cq.atom rel [ Cq.Var "z" ] ])
+      (accept_cell_rels m)
+  in
+  let base =
+    Parse.program
+      "Fwd(x) <- InpBegin(x).
+       Fwd(y) <- Fwd(x), Succ(x,y).
+       Fwd(y) <- Fwd(x), SuccR(x,y).
+       ToEnd(x) <- RunEnd(x).
+       ToEnd(x) <- SuccR(x,y), ToEnd(y).
+       Goal <- Fwd(z), ToEnd(z), Acc(z)."
+  in
+  Datalog.query (base @ acc_rules) "Goal"
+
+let views (m : Tm.t) : View.collection =
+  let input_atomic =
+    [
+      View.atomic "VSucc" "Succ" 2;
+      View.atomic "VInpBegin" "InpBegin" 1;
+      View.atomic "VInpEnd" "InpEnd" 1;
+    ]
+    @ List.map
+        (fun ch ->
+          View.atomic ("V" ^ Encode.input_rel ch) (Encode.input_rel ch) 1)
+        m.Tm.tape_alphabet
+  in
+  let prerun =
+    (* a pre-run: the input end marker reaches, along the run string, a
+       halting-state cell that reaches the run-end marker *)
+    let halt_rules =
+      List.map
+        (fun rel ->
+          Datalog.rule (Cq.atom "Halt" [ Cq.Var "z" ]) [ Cq.atom rel [ Cq.Var "z" ] ])
+        (halting_cell_rels m)
+    in
+    let base =
+      Parse.program
+        "FromB(x) <- InpBegin(y), Succ(y,x).
+         FromB(x) <- FromB(y), Succ(y,x).
+         ReachEnd(x) <- SuccR(x,y), RunEnd(y).
+         ReachEnd(x) <- SuccR(x,y), ReachEnd(y).
+         HaltToEnd(x) <- Halt(x), ReachEnd(x).
+         ReachHalt(x) <- SuccR(x,y), HaltToEnd(y).
+         ReachHalt(x) <- SuccR(x,y), ReachHalt(y).
+         PR(x) <- InpEnd(x), FromB(x), ReachHalt(x)."
+    in
+    View.datalog "Vprerun" (Datalog.query (base @ halt_rules) "PR")
+  in
+  input_atomic @ [ prerun ]
+
+let decode_input j =
+  (* find the begin marker, then follow VSucc reading VIn_* labels *)
+  match Instance.tuples j "VInpBegin" with
+  | [] -> None
+  | b :: _ -> (
+      let letter x =
+        List.find_map
+          (fun rel ->
+            if String.length rel > 4 && String.sub rel 0 3 = "VIn" then
+              if List.exists (fun t -> Const.equal t.(0) x) (Instance.tuples j rel)
+              then Some rel.[4]
+              else None
+            else None)
+          (Instance.relations j)
+      in
+      let is_end x =
+        List.exists (fun t -> Const.equal t.(0) x) (Instance.tuples j "VInpEnd")
+      in
+      let next x =
+        match Instance.tuples_with j "VSucc" [ (0, x) ] with
+        | t :: _ -> Some t.(1)
+        | [] -> None
+      in
+      let buf = Buffer.create 16 in
+      let rec walk x fuel =
+        if fuel = 0 then None
+        else if is_end x then Some (Buffer.contents buf)
+        else begin
+          (match letter x with Some ch -> Buffer.add_char buf ch | None -> ());
+          match next x with None -> None | Some y -> walk y (fuel - 1)
+        end
+      in
+      match next b.(0) with
+      | None -> None
+      | Some first -> walk first (Instance.size j + 1))
+
+let simulating_separator ?max_steps (m : Tm.t) j =
+  (* a complete halting run must be certified by the pre-run view; then
+     determinism means replaying the machine decides acceptance *)
+  if Instance.tuples j "Vprerun" = [] then false
+  else
+    match decode_input j with
+    | None -> false
+    | Some w -> Tm.accepts ?max_steps m w

@@ -1,0 +1,27 @@
+(** The Theorem 9 query/view construction over the run encodings of
+    {!Encode}.
+
+    The query detects an encoded accepting run; the views expose the
+    input, the pre-run skeleton and local structure, but answering the
+    query from the views requires replaying the machine: the separator's
+    cost tracks machine {e time}, while the view image of the input only
+    grows with input {e length}.  With the binary-counter machine this
+    exhibits an exponential separator over linear-size view inputs — the
+    laptop-scale shape of Theorem 9's "no computable time bound". *)
+
+val query : Tm.t -> Datalog.query
+(** Boolean: some accepting-state cell lies on a run-string path from an
+    input begin marker to the run-end marker. *)
+
+val views : Tm.t -> View.collection
+(** Atomic input views and the recursive pre-run view [Vprerun].  No view
+    reveals acceptance: that is exactly why a separator must replay the
+    machine. *)
+
+val decode_input : Instance.t -> string option
+(** Read the input word back from a view image (follows the [VSucc]
+    chain). *)
+
+val simulating_separator : ?max_steps:int -> Tm.t -> Instance.t -> bool
+(** The separator the proof constructs implicitly: decode the input from
+    the view image and replay the (deterministic) machine. *)

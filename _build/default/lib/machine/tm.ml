@@ -1,0 +1,130 @@
+type move = L | R | S
+
+type t = {
+  name : string;
+  tape_alphabet : char list;
+  blank : char;
+  states : string list;
+  start : string;
+  accept : string;
+  halting : string list;
+  delta : ((string * char) * (string * char * move)) list;
+}
+
+type config = {
+  left : char list;
+  state : string;
+  head : char;
+  right : char list;
+}
+
+let initial m input =
+  let chars = List.init (String.length input) (String.get input) in
+  match chars with
+  | [] -> { left = []; state = m.start; head = m.blank; right = [] }
+  | h :: rest -> { left = []; state = m.start; head = h; right = rest }
+
+let step m c =
+  if List.mem c.state m.halting then None
+  else
+    match List.assoc_opt (c.state, c.head) m.delta with
+    | None -> None
+    | Some (q, w, mv) ->
+        Some
+          (match mv with
+          | S -> { c with state = q; head = w }
+          | R -> (
+              match c.right with
+              | [] -> { left = w :: c.left; state = q; head = m.blank; right = [] }
+              | h :: rest -> { left = w :: c.left; state = q; head = h; right = rest })
+          | L -> (
+              match c.left with
+              | [] -> { left = []; state = q; head = m.blank; right = w :: c.right }
+              | h :: rest -> { left = rest; state = q; head = h; right = w :: c.right }))
+
+let run ?(max_steps = 2_000_000) m input =
+  let rec go acc c n =
+    if n >= max_steps then (List.rev (c :: acc), false)
+    else
+      match step m c with
+      | None -> (List.rev (c :: acc), String.equal c.state m.accept)
+      | Some c' -> go (c :: acc) c' (n + 1)
+  in
+  go [] (initial m input) 0
+
+let steps ?max_steps m input = List.length (fst (run ?max_steps m input)) - 1
+let accepts ?max_steps m input = snd (run ?max_steps m input)
+
+let config_cells m ~width c =
+  let cells =
+    List.rev_map (fun ch -> String.make 1 ch) c.left
+    @ (Printf.sprintf "%s|%c" c.state c.head
+      :: List.map (fun ch -> String.make 1 ch) c.right)
+  in
+  let pad = width - List.length cells in
+  cells @ List.init (max 0 pad) (fun _ -> String.make 1 m.blank)
+
+let binary_counter =
+  {
+    name = "binary-counter";
+    tape_alphabet = [ '0'; '1'; '_' ];
+    blank = '_';
+    states = [ "ret"; "inc"; "acc" ];
+    start = "ret";
+    accept = "acc";
+    halting = [ "acc" ];
+    delta =
+      [
+        (* sweep right to the end of the number *)
+        (("ret", '0'), ("ret", '0', R));
+        (("ret", '1'), ("ret", '1', R));
+        (("ret", '_'), ("inc", '_', L));
+        (* increment: flip trailing 1s, set the first 0 *)
+        (("inc", '1'), ("inc", '0', L));
+        (("inc", '0'), ("ret", '1', R));
+        (* carry past the leftmost bit: overflow, accept *)
+        (("inc", '_'), ("acc", '_', S));
+      ];
+  }
+
+let zigzag =
+  {
+    name = "zigzag";
+    tape_alphabet = [ '0'; '1'; '_' ];
+    blank = '_';
+    states = [ "go"; "acc" ];
+    start = "go";
+    accept = "acc";
+    halting = [ "acc" ];
+    delta = [ (("go", '0'), ("go", '0', R)); (("go", '1'), ("go", '1', R)); (("go", '_'), ("acc", '_', S)) ];
+  }
+
+(* parity pass first (p0/p1), then the counter with the parity bit carried
+   through the state; overflow accepts iff the input length was even *)
+let binary_counter_parity =
+  let d = ref [] in
+  let add k v = d := (k, v) :: !d in
+  add ("p0", '0') ("p1", '0', R);
+  add ("p1", '0') ("p0", '0', R);
+  add ("p0", '_') ("inc0", '_', L);
+  add ("p1", '_') ("inc1", '_', L);
+  List.iter
+    (fun p ->
+      add ("ret" ^ p, '0') ("ret" ^ p, '0', R);
+      add ("ret" ^ p, '1') ("ret" ^ p, '1', R);
+      add ("ret" ^ p, '_') ("inc" ^ p, '_', L);
+      add ("inc" ^ p, '1') ("inc" ^ p, '0', L);
+      add ("inc" ^ p, '0') ("ret" ^ p, '1', R))
+    [ "0"; "1" ];
+  add ("inc0", '_') ("acc", '_', S);
+  add ("inc1", '_') ("rej", '_', S);
+  {
+    name = "binary-counter-parity";
+    tape_alphabet = [ '0'; '1'; '_' ];
+    blank = '_';
+    states = [ "p0"; "p1"; "ret0"; "ret1"; "inc0"; "inc1"; "acc"; "rej" ];
+    start = "p0";
+    accept = "acc";
+    halting = [ "acc"; "rej" ];
+    delta = !d;
+  }

@@ -1,0 +1,58 @@
+(** Deterministic Turing machines — the substrate for the Theorem 9
+    separator lower-bound experiment.
+
+    Theorem 9's proof needs, for any computable [F], a machine whose
+    runtime beats [F]; at laptop scale we use a concrete exponential-time
+    machine (a binary counter) against polynomial baselines, which is the
+    observable content of the theorem: the separator must replay the run,
+    so its cost tracks machine time, not view-image size. *)
+
+type move = L | R | S
+
+type t = {
+  name : string;
+  tape_alphabet : char list;  (** includes the blank *)
+  blank : char;
+  states : string list;
+  start : string;
+  accept : string;
+  halting : string list;
+      (** states where the machine stops and the run-string is complete
+          (always includes [accept]) *)
+  delta : ((string * char) * (string * char * move)) list;
+      (** deterministic transition table; missing entries halt-reject *)
+}
+
+type config = {
+  left : char list;  (** tape left of the head, nearest first *)
+  state : string;
+  head : char;
+  right : char list;
+}
+
+val initial : t -> string -> config
+val step : t -> config -> config option
+(** [None] once in the accepting state or on a missing transition. *)
+
+val run : ?max_steps:int -> t -> string -> config list * bool
+(** The run (including the initial configuration) and whether it ended in
+    the accepting state.  Default cap 2_000_000 steps. *)
+
+val steps : ?max_steps:int -> t -> string -> int
+val accepts : ?max_steps:int -> t -> string -> bool
+
+val config_cells : t -> width:int -> config -> string list
+(** The configuration as a list of cell symbols padded to [width]: tape
+    characters as ["c"], the head cell as ["state|c"]. *)
+
+val binary_counter : t
+(** On input [0^n]: counts through all [2^n] values, then accepts —
+    runtime Θ(n·2^n). *)
+
+val binary_counter_parity : t
+(** Counts through all [2^n] values, then accepts iff the input length is
+    even (halts in a rejecting state otherwise) — the separator has to
+    replay the count to know which. *)
+
+val zigzag : t
+(** On input [0^n]: sweeps the tape once and accepts — runtime Θ(n). *)

@@ -1,0 +1,208 @@
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type token =
+  | Ident of string
+  | Quoted of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Period
+  | Arrow
+  | Eof
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '#' || c = '~' || c = '!' || c = '?' || c = '$' || c = '*'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '%' then (
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done)
+    else if c = '(' then (
+      toks := Lparen :: !toks;
+      incr i)
+    else if c = ')' then (
+      toks := Rparen :: !toks;
+      incr i)
+    else if c = ',' then (
+      toks := Comma :: !toks;
+      incr i)
+    else if c = '.' then (
+      toks := Period :: !toks;
+      incr i)
+    else if c = '\'' then (
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] <> '\'' do
+        incr j
+      done;
+      if !j >= n then fail "unterminated quote";
+      toks := Quoted (String.sub s (!i + 1) (!j - !i - 1)) :: !toks;
+      i := !j + 1)
+    else if c = '<' && !i + 1 < n && s.[!i + 1] = '-' then (
+      toks := Arrow :: !toks;
+      i := !i + 2)
+    else if c = ':' && !i + 1 < n && s.[!i + 1] = '-' then (
+      toks := Arrow :: !toks;
+      i := !i + 2)
+    else if is_ident_char c then (
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      toks := Ident (String.sub s !i (!j - !i)) :: !toks;
+      i := !j)
+    else fail "unexpected character %C" c
+  done;
+  List.rev (Eof :: !toks)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Eof | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+(* term in rule position: identifiers are variables, quotes are constants *)
+let parse_args st ~term =
+  match peek st with
+  | Lparen ->
+      advance st;
+      if peek st = Rparen then (
+        advance st;
+        [])
+      else
+        let rec go acc =
+          let a = term st in
+          match peek st with
+          | Comma ->
+              advance st;
+              go (a :: acc)
+          | Rparen ->
+              advance st;
+              List.rev (a :: acc)
+          | _ -> fail "expected ',' or ')'"
+        in
+        go []
+  | _ -> []
+
+let rule_term st =
+  match peek st with
+  | Ident v ->
+      advance st;
+      Cq.Var v
+  | Quoted c ->
+      advance st;
+      Cq.Cst (Const.named c)
+  | _ -> fail "expected term"
+
+let fact_term st =
+  match peek st with
+  | Ident v ->
+      advance st;
+      Const.named v
+  | Quoted c ->
+      advance st;
+      Const.named c
+  | _ -> fail "expected constant"
+
+let parse_atom st =
+  match peek st with
+  | Ident name ->
+      advance st;
+      Cq.atom name (parse_args st ~term:rule_term)
+  | _ -> fail "expected atom"
+
+let parse_rule st =
+  let head = parse_atom st in
+  let body =
+    match peek st with
+    | Arrow ->
+        advance st;
+        let rec go acc =
+          let a = parse_atom st in
+          match peek st with
+          | Comma ->
+              advance st;
+              go (a :: acc)
+          | _ -> List.rev (a :: acc)
+        in
+        go []
+    | _ -> []
+  in
+  if peek st = Period then advance st;
+  Datalog.rule head body
+
+let parse_program st =
+  let rec go acc =
+    match peek st with
+    | Eof -> List.rev acc
+    | _ -> go (parse_rule st :: acc)
+  in
+  go []
+
+let with_input s f =
+  let st = { toks = tokenize s } in
+  let r = f st in
+  (match peek st with Eof -> () | _ -> fail "trailing input");
+  r
+
+let program s = with_input s parse_program
+
+let query ~goal s = Datalog.query (program s) goal
+
+let rule s =
+  with_input s (fun st ->
+      let r = parse_rule st in
+      r)
+
+let atom s = with_input s parse_atom
+
+let cq_of_rule (r : Datalog.rule) =
+  let head =
+    List.map
+      (function
+        | Cq.Var v -> v
+        | Cq.Cst _ -> fail "constant in CQ head")
+      r.head.Cq.args
+  in
+  Cq.make ~head r.body
+
+let cq s = cq_of_rule (rule s)
+
+let ucq s =
+  let rules = program s in
+  match rules with
+  | [] -> fail "empty UCQ"
+  | r :: _ ->
+      let name = r.head.Cq.rel in
+      List.iter
+        (fun (r' : Datalog.rule) ->
+          if not (String.equal r'.head.Cq.rel name) then
+            fail "UCQ disjuncts must share a head predicate")
+        rules;
+      Ucq.make (List.map cq_of_rule rules)
+
+let instance s =
+  with_input s (fun st ->
+      let rec go acc =
+        match peek st with
+        | Eof -> acc
+        | Ident name ->
+            advance st;
+            let args = parse_args st ~term:fact_term in
+            if peek st = Period then advance st;
+            go (Instance.add (Fact.make name args) acc)
+        | _ -> fail "expected fact"
+      in
+      go Instance.empty)

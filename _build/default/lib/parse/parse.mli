@@ -1,0 +1,29 @@
+(** A small surface syntax for rules, queries and instances.
+
+    Rules are written
+    {v  W1(x) <- T(x,y,z), B(z,w), B(y,w), W1(w). v}
+    ([":-"] is accepted for ["<-"]).  In rules, plain identifiers are
+    variables and quoted identifiers (['a]) are constants.  In instances,
+    plain identifiers are constants:
+    {v  R(a,b). U(a). v}
+    Nullary atoms are written with or without parentheses.  Comments run
+    from [%] to the end of the line. *)
+
+exception Error of string
+(** Raised on any syntax error, with a human-readable message. *)
+
+val program : string -> Datalog.program
+val query : goal:string -> string -> Datalog.query
+val rule : string -> Datalog.rule
+(** A single rule (trailing period optional). *)
+
+val cq : string -> Cq.t
+(** A single rule; the head arguments become the CQ head variables. *)
+
+val ucq : string -> Ucq.t
+(** One or more rules sharing a head predicate. *)
+
+val atom : string -> Cq.atom
+val instance : string -> Instance.t
+(** Period- or whitespace-separated ground facts; identifiers denote
+    constants. *)

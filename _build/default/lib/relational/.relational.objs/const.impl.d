@@ -1,0 +1,1 @@
+lib/relational/const.ml: Fmt Hashtbl Int Map Set String

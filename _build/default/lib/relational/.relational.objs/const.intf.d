@@ -1,0 +1,1 @@
+lib/relational/const.mli: Fmt Map Set

@@ -1,0 +1,1 @@
+lib/relational/fact.ml: Array Const Fmt Int Set String

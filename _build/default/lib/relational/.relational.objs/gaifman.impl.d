@@ -1,0 +1,1 @@
+lib/relational/gaifman.ml: Const Fact Hashtbl Instance List Option Queue

@@ -1,0 +1,1 @@
+lib/relational/gaifman.mli: Const Instance

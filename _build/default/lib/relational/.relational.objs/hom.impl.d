@@ -1,0 +1,1 @@
+lib/relational/hom.ml: Array Const Fact Fmt Instance List Option

@@ -1,0 +1,1 @@
+lib/relational/hom.mli: Const Fmt Instance

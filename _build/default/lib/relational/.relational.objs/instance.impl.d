@@ -1,0 +1,1 @@
+lib/relational/instance.ml: Array Const Fact Fmt Hashtbl Int List Map Option Schema Set String

@@ -1,0 +1,1 @@
+lib/relational/instance.mli: Const Fact Fmt Schema

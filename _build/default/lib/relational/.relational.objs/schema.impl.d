@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Fmt Int List Map Printf String

@@ -1,0 +1,1 @@
+lib/relational/smap.ml: Map String

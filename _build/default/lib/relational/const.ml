@@ -1,0 +1,37 @@
+type t = Named of string | Fresh of int
+
+let compare a b =
+  match (a, b) with
+  | Named x, Named y -> String.compare x y
+  | Fresh i, Fresh j -> Int.compare i j
+  | Named _, Fresh _ -> -1
+  | Fresh _, Named _ -> 1
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Named s -> Hashtbl.hash (0, s)
+  | Fresh i -> Hashtbl.hash (1, i)
+
+let named s = Named s
+
+let counter = ref 0
+
+let fresh () =
+  incr counter;
+  Fresh !counter
+
+let fresh_reset () = counter := 0
+let is_fresh = function Fresh _ -> true | Named _ -> false
+
+let to_string = function Named s -> s | Fresh i -> "_" ^ string_of_int i
+let pp ppf c = Fmt.string ppf (to_string c)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

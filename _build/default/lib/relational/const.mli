@@ -1,0 +1,29 @@
+(** Domain elements of database instances.
+
+    Elements are either named (coming from user input or canonical databases
+    of queries, where the name records the originating variable) or fresh
+    nulls generated during chase steps and inverse-rule applications. *)
+
+type t =
+  | Named of string  (** a user-visible constant *)
+  | Fresh of int  (** an anonymous null, identified by a unique integer *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val named : string -> t
+(** [named s] is the constant written [s]. *)
+
+val fresh : unit -> t
+(** [fresh ()] is a globally fresh null.  Freshness is per-process. *)
+
+val fresh_reset : unit -> unit
+(** Reset the fresh-null counter.  Only for reproducible tests. *)
+
+val is_fresh : t -> bool
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,37 @@
+type t = { rel : string; args : Const.t array }
+
+let make rel args = { rel; args = Array.of_list args }
+
+let compare a b =
+  let c = String.compare a.rel b.rel in
+  if c <> 0 then c
+  else
+    let la = Array.length a.args and lb = Array.length b.args in
+    let c = Int.compare la lb in
+    if c <> 0 then c
+    else
+      let rec go i =
+        if i = la then 0
+        else
+          let c = Const.compare a.args.(i) b.args.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+let equal a b = compare a b = 0
+let arity f = Array.length f.args
+let map h f = { f with args = Array.map h f.args }
+
+let consts f = Array.fold_left (fun s c -> Const.Set.add c s) Const.Set.empty f.args
+
+let pp ppf f =
+  if Array.length f.args = 0 then Fmt.string ppf f.rel
+  else Fmt.pf ppf "%s(%a)" f.rel Fmt.(array ~sep:comma Const.pp) f.args
+
+let to_string f = Fmt.str "%a" pp f
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

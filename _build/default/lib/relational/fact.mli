@@ -1,0 +1,17 @@
+(** Ground facts [R(c1,...,cn)]. *)
+
+type t = { rel : string; args : Const.t array }
+
+val make : string -> Const.t list -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val arity : t -> int
+
+val map : (Const.t -> Const.t) -> t -> t
+(** [map h f] applies [h] to every argument of [f]. *)
+
+val consts : t -> Const.Set.t
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Set : Set.S with type elt = t

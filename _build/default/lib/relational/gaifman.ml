@@ -1,0 +1,87 @@
+type t = Const.Set.t Const.Map.t
+
+let of_instance inst =
+  let add_edge a b g =
+    let upd x y g =
+      let s = Option.value ~default:Const.Set.empty (Const.Map.find_opt x g) in
+      Const.Map.add x (Const.Set.add y s) g
+    in
+    upd a b (upd b a g)
+  in
+  let ensure a g =
+    if Const.Map.mem a g then g else Const.Map.add a Const.Set.empty g
+  in
+  Instance.fold
+    (fun f g ->
+      let cs = Const.Set.elements (Fact.consts f) in
+      let g = List.fold_left (fun g c -> ensure c g) g cs in
+      let rec pairs = function
+        | [] -> []
+        | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+      in
+      List.fold_left (fun g (a, b) -> add_edge a b g) g (pairs cs))
+    inst Const.Map.empty
+
+let nodes g = List.map fst (Const.Map.bindings g)
+
+let neighbours g c =
+  Option.value ~default:Const.Set.empty (Const.Map.find_opt c g)
+
+let bfs g start =
+  let dist = Hashtbl.create 16 in
+  Hashtbl.add dist start 0;
+  let q = Queue.create () in
+  Queue.add start q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let d = Hashtbl.find dist u in
+    Const.Set.iter
+      (fun v ->
+        if not (Hashtbl.mem dist v) then (
+          Hashtbl.add dist v (d + 1);
+          Queue.add v q))
+      (neighbours g u)
+  done;
+  dist
+
+let distance g a b =
+  if not (Const.Map.mem a g) then None
+  else Hashtbl.find_opt (bfs g a) b
+
+let eccentricity g a =
+  let dist = bfs g a in
+  if Hashtbl.length dist <> Const.Map.cardinal g then None
+  else Hashtbl.fold (fun _ d m -> max d m) dist 0 |> Option.some
+
+let radius g =
+  if Const.Map.is_empty g then Some 0
+  else
+    List.fold_left
+      (fun acc u ->
+        match (acc, eccentricity g u) with
+        | _, None -> acc
+        | None, Some e -> Some e
+        | Some r, Some e -> Some (min r e))
+      None (nodes g)
+
+let components g =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun u ->
+      if Hashtbl.mem seen u then None
+      else
+        let dist = bfs g u in
+        let comp =
+          Hashtbl.fold (fun v _ s -> Const.Set.add v s) dist Const.Set.empty
+        in
+        Const.Set.iter (fun v -> Hashtbl.replace seen v ()) comp;
+        Some comp)
+    (nodes g)
+
+let connected g = List.length (components g) <= 1
+
+let ball g c r =
+  let dist = bfs g c in
+  Hashtbl.fold
+    (fun v d s -> if d <= r then Const.Set.add v s else s)
+    dist Const.Set.empty

@@ -1,0 +1,25 @@
+(** Gaifman graphs of instances: nodes are active-domain elements, with an
+    edge between two elements whenever they co-occur in a fact.  Used for
+    radius computations (Lemma 3) and connectivity of CQs. *)
+
+type t
+
+val of_instance : Instance.t -> t
+val nodes : t -> Const.t list
+val neighbours : t -> Const.t -> Const.Set.t
+
+val distance : t -> Const.t -> Const.t -> int option
+(** BFS distance; [None] if disconnected. *)
+
+val eccentricity : t -> Const.t -> int option
+(** Max distance to any node; [None] if the graph is disconnected. *)
+
+val radius : t -> int option
+(** [min_u max_v dist(u,v)]; [None] if disconnected, [Some 0] on empty or
+    singleton graphs. *)
+
+val connected : t -> bool
+val components : t -> Const.Set.t list
+
+val ball : t -> Const.t -> int -> Const.Set.t
+(** All nodes within the given distance of the centre. *)

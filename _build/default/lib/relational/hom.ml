@@ -1,0 +1,127 @@
+type map = Const.t Const.Map.t
+
+let is_hom h src dst =
+  let ok = ref true in
+  Instance.iter
+    (fun f ->
+      if !ok then
+        match
+          Array.for_all (fun c -> Const.Map.mem c h) f.Fact.args
+        with
+        | false -> ok := false
+        | true ->
+            let f' = Fact.map (fun c -> Const.Map.find c h) f in
+            if not (Instance.mem f' dst) then ok := false)
+    src;
+  !ok
+
+(* Order the facts of [src] so that each fact (after the first) shares an
+   element with an earlier fact whenever possible: this keeps the frontier
+   of the backtracking search connected and prunes early. *)
+let order_facts src =
+  let fs = Instance.facts src in
+  let rec go seen pending acc =
+    match pending with
+    | [] -> List.rev acc
+    | _ ->
+        let connected, rest =
+          List.partition
+            (fun f -> not (Const.Set.is_empty (Const.Set.inter (Fact.consts f) seen)))
+            pending
+        in
+        (match (connected, rest) with
+        | f :: more, _ ->
+            go (Const.Set.union seen (Fact.consts f)) (more @ rest) (f :: acc)
+        | [], f :: more ->
+            go (Const.Set.union seen (Fact.consts f)) more (f :: acc)
+        | [], [] -> List.rev acc)
+  in
+  go Const.Set.empty fs []
+
+(* Enumerate homomorphisms extending [init]; call [yield] on each complete
+   one.  [yield] returns [true] to continue enumeration, [false] to stop. *)
+let enumerate ?(init = Const.Map.empty) src dst yield =
+  let ordered = order_facts src in
+  (* elements of src not covered by any fact still need images?  adom of an
+     instance only contains elements in facts, so the fact ordering covers
+     everything. *)
+  let rec solve h = function
+    | [] -> yield h
+    | f :: rest ->
+        let bound = ref [] in
+        Array.iteri
+          (fun i c ->
+            match Const.Map.find_opt c h with
+            | Some c' -> bound := (i, c') :: !bound
+            | None -> ())
+          f.Fact.args;
+        let candidates = Instance.tuples_with dst f.Fact.rel !bound in
+        let rec try_tuples = function
+          | [] -> true
+          | tup :: tups ->
+              let h' = ref h and ok = ref true in
+              Array.iteri
+                (fun i c ->
+                  if !ok then
+                    match Const.Map.find_opt c !h' with
+                    | Some c' -> if not (Const.equal c' tup.(i)) then ok := false
+                    | None -> h' := Const.Map.add c tup.(i) !h')
+                f.Fact.args;
+              if !ok then if solve !h' rest then try_tuples tups else false
+              else try_tuples tups
+        in
+        try_tuples candidates
+  in
+  ignore (solve init ordered)
+
+let find ?init src dst =
+  let result = ref None in
+  enumerate ?init src dst (fun h ->
+      result := Some h;
+      false);
+  !result
+
+let exists ?init src dst = Option.is_some (find ?init src dst)
+
+let all ?init ?(limit = 1000) src dst =
+  let acc = ref [] and n = ref 0 in
+  enumerate ?init src dst (fun h ->
+      acc := h :: !acc;
+      incr n;
+      !n < limit);
+  List.rev !acc
+
+let count ?init ?(limit = 1000) src dst =
+  let n = ref 0 in
+  enumerate ?init src dst (fun _ ->
+      incr n;
+      !n < limit);
+  !n
+
+let compose g h = Const.Map.map (fun c -> match Const.Map.find_opt c g with Some c' -> c' | None -> c) h
+
+let image h src = Instance.map (fun c -> Const.Map.find c h) src
+
+let endo_core inst =
+  let rec shrink inst =
+    let dom = Const.Set.elements (Instance.adom inst) in
+    let try_drop a =
+      let target = Instance.filter (fun f -> not (Const.Set.mem a (Fact.consts f))) inst in
+      find inst target
+    in
+    let rec loop = function
+      | [] -> inst
+      | a :: rest -> (
+          match try_drop a with
+          | Some h -> shrink (image h inst)
+          | None -> loop rest)
+    in
+    loop dom
+  in
+  shrink inst
+
+let pp_map ppf h =
+  Fmt.pf ppf "{%a}"
+    Fmt.(
+      list ~sep:comma (fun ppf (a, b) -> Fmt.pf ppf "%a↦%a" Const.pp a Const.pp b))
+    (Const.Map.bindings h)

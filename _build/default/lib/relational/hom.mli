@@ -1,0 +1,34 @@
+(** Homomorphisms between instances.
+
+    A homomorphism from [I] to [I'] is a map [h] on [adom I] such that
+    [R(c1..cn) ∈ I] implies [R(h c1..h cn) ∈ I'].  Search is by
+    backtracking over the facts of the source, ordered to keep the partial
+    image connected. *)
+
+type map = Const.t Const.Map.t
+
+val is_hom : map -> Instance.t -> Instance.t -> bool
+(** [is_hom h src dst] checks that [h] is total on [adom src] and maps every
+    fact of [src] into [dst]. *)
+
+val find : ?init:map -> Instance.t -> Instance.t -> map option
+(** [find ?init src dst] searches for a homomorphism extending [init]
+    (default empty).  Elements bound by [init] are kept fixed. *)
+
+val exists : ?init:map -> Instance.t -> Instance.t -> bool
+
+val count : ?init:map -> ?limit:int -> Instance.t -> Instance.t -> int
+(** Number of distinct homomorphisms, stopping at [limit] (default 1000). *)
+
+val all : ?init:map -> ?limit:int -> Instance.t -> Instance.t -> map list
+(** All homomorphisms extending [init], up to [limit] (default 1000). *)
+
+val endo_core : Instance.t -> Instance.t
+(** The core of an instance: a minimal retract.  Computed by greedily
+    looking for proper retractions; exponential in the worst case, meant
+    for small instances (CQ minimization). *)
+
+val compose : map -> map -> map
+(** [compose g h] is the map [x ↦ g(h(x))] (domain of [h]). *)
+
+val pp_map : map Fmt.t

@@ -1,0 +1,130 @@
+module Tuple = struct
+  type t = Const.t array
+
+  let compare (a : t) (b : t) =
+    let la = Array.length a and lb = Array.length b in
+    let c = Int.compare la lb in
+    if c <> 0 then c
+    else
+      let rec go i =
+        if i = la then 0
+        else
+          let c = Const.compare a.(i) b.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+end
+
+module TS = Set.Make (Tuple)
+module M = Map.Make (String)
+
+type t = TS.t M.t
+
+let empty = M.empty
+
+let add (f : Fact.t) t =
+  let ts = Option.value ~default:TS.empty (M.find_opt f.rel t) in
+  M.add f.rel (TS.add f.args ts) t
+
+let remove (f : Fact.t) t =
+  match M.find_opt f.rel t with
+  | None -> t
+  | Some ts ->
+      let ts = TS.remove f.args ts in
+      if TS.is_empty ts then M.remove f.rel t else M.add f.rel ts t
+
+let of_list fs = List.fold_left (fun t f -> add f t) empty fs
+let of_facts fs = Fact.Set.fold add fs empty
+let singleton f = add f empty
+
+let fold g t acc =
+  M.fold
+    (fun rel ts acc -> TS.fold (fun args acc -> g { Fact.rel; args } acc) ts acc)
+    t acc
+
+let iter g t = fold (fun f () -> g f) t ()
+let facts t = List.rev (fold (fun f acc -> f :: acc) t [])
+let fact_set t = fold Fact.Set.add t Fact.Set.empty
+
+let mem (f : Fact.t) t =
+  match M.find_opt f.rel t with None -> false | Some ts -> TS.mem f.args ts
+
+let size t = M.fold (fun _ ts n -> n + TS.cardinal ts) t 0
+let is_empty t = M.for_all (fun _ ts -> TS.is_empty ts) t
+
+let union a b =
+  M.union (fun _ x y -> Some (TS.union x y)) a b
+
+let diff a b =
+  M.merge
+    (fun _ x y ->
+      match (x, y) with
+      | None, _ -> None
+      | Some x, None -> Some x
+      | Some x, Some y ->
+          let d = TS.diff x y in
+          if TS.is_empty d then None else Some d)
+    a b
+
+let inter a b =
+  M.merge
+    (fun _ x y ->
+      match (x, y) with
+      | Some x, Some y ->
+          let i = TS.inter x y in
+          if TS.is_empty i then None else Some i
+      | _ -> None)
+    a b
+
+let subset a b =
+  M.for_all
+    (fun rel ts ->
+      match M.find_opt rel b with
+      | None -> TS.is_empty ts
+      | Some ts' -> TS.subset ts ts')
+    a
+
+let compare = M.compare TS.compare
+let equal a b = compare a b = 0
+
+let relations t =
+  M.bindings t |> List.filter (fun (_, ts) -> not (TS.is_empty ts)) |> List.map fst
+
+let tuples t rel =
+  match M.find_opt rel t with None -> [] | Some ts -> TS.elements ts
+
+let tuples_with t rel cs =
+  let ok tup = List.for_all (fun (p, c) -> Const.equal tup.(p) c) cs in
+  List.filter ok (tuples t rel)
+
+let adom t =
+  fold (fun f s -> Const.Set.union (Fact.consts f) s) t Const.Set.empty
+
+let map h t = fold (fun f acc -> add (Fact.map h f) acc) t empty
+let restrict p t = M.filter (fun rel _ -> p rel) t
+let restrict_schema s t = restrict (Schema.mem s) t
+
+let filter p t =
+  fold (fun f acc -> if p f then add f acc else acc) t empty
+
+let schema t =
+  M.fold
+    (fun rel ts s ->
+      match TS.choose_opt ts with
+      | None -> s
+      | Some tup -> Schema.add rel (Array.length tup) s)
+    t Schema.empty
+
+let rename_apart t =
+  let tbl = Hashtbl.create 16 in
+  let rename c =
+    match Hashtbl.find_opt tbl c with
+    | Some c' -> c'
+    | None ->
+        let c' = Const.fresh () in
+        Hashtbl.add tbl c c';
+        c'
+  in
+  map rename t
+
+let pp ppf t = Fmt.pf ppf "{%a}" Fmt.(list ~sep:semi Fact.pp) (facts t)

@@ -1,0 +1,59 @@
+(** Database instances: finite sets of facts, indexed by relation name.
+
+    Instances follow the paper's conventions: an instance is just a set of
+    facts; its active domain is the set of elements occurring in them. *)
+
+type t
+
+val empty : t
+val add : Fact.t -> t -> t
+val remove : Fact.t -> t -> t
+val of_list : Fact.t list -> t
+val of_facts : Fact.Set.t -> t
+val singleton : Fact.t -> t
+val facts : t -> Fact.t list
+val fact_set : t -> Fact.Set.t
+val mem : Fact.t -> t -> bool
+val size : t -> int
+(** Number of facts. *)
+
+val is_empty : t -> bool
+val union : t -> t -> t
+val diff : t -> t -> t
+val inter : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val relations : t -> string list
+(** Relation names with at least one fact, sorted. *)
+
+val tuples : t -> string -> Const.t array list
+(** All tuples of the given relation (empty list if none). *)
+
+val tuples_with : t -> string -> (int * Const.t) list -> Const.t array list
+(** [tuples_with i r cs] returns the tuples of [r] whose position [p] holds
+    constant [c] for every [(p, c)] in [cs]. *)
+
+val adom : t -> Const.Set.t
+(** Active domain. *)
+
+val map : (Const.t -> Const.t) -> t -> t
+(** Apply a renaming to every fact. *)
+
+val restrict : (string -> bool) -> t -> t
+(** Keep only facts whose relation satisfies the predicate (the paper's
+    [F ↾ Σ']). *)
+
+val restrict_schema : Schema.t -> t -> t
+val filter : (Fact.t -> bool) -> t -> t
+val fold : (Fact.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Fact.t -> unit) -> t -> unit
+val schema : t -> Schema.t
+(** The schema inferred from the facts present. *)
+
+val rename_apart : t -> t
+(** A copy of the instance with every element replaced by a fresh null
+    (used to take disjoint copies). *)
+
+val pp : t Fmt.t

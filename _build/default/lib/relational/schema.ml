@@ -1,0 +1,33 @@
+module M = Map.Make (String)
+
+type t = int M.t
+
+let empty = M.empty
+
+let add r n s =
+  match M.find_opt r s with
+  | Some m when m <> n ->
+      invalid_arg
+        (Printf.sprintf "Schema.add: %s redeclared with arity %d (was %d)" r n m)
+  | _ -> M.add r n s
+
+let of_list l = List.fold_left (fun s (r, n) -> add r n s) empty l
+let arity s r = M.find_opt r s
+
+let arity_exn s r =
+  match M.find_opt r s with
+  | Some n -> n
+  | None -> invalid_arg ("Schema.arity_exn: unknown relation " ^ r)
+
+let mem s r = M.mem r s
+let relations s = M.bindings s
+let names s = List.map fst (M.bindings s)
+let union a b = M.fold add b a
+let restrict p s = M.filter (fun r _ -> p r) s
+let remove_all rs s = List.fold_left (fun s r -> M.remove r s) s rs
+let equal = M.equal Int.equal
+
+let pp ppf s =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:comma (fun ppf (r, n) -> Fmt.pf ppf "%s/%d" r n))
+    (relations s)

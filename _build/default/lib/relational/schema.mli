@@ -1,0 +1,23 @@
+(** Relational schemas: finite maps from relation names to arities. *)
+
+type t
+
+val empty : t
+val add : string -> int -> t -> t
+(** [add r n s] declares relation [r] with arity [n].
+    @raise Invalid_argument if [r] is already declared with a different arity. *)
+
+val of_list : (string * int) list -> t
+val arity : t -> string -> int option
+val arity_exn : t -> string -> int
+val mem : t -> string -> bool
+val relations : t -> (string * int) list
+val names : t -> string list
+
+val union : t -> t -> t
+(** Union of two schemas. @raise Invalid_argument on an arity clash. *)
+
+val restrict : (string -> bool) -> t -> t
+val remove_all : string list -> t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

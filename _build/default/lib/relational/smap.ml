@@ -1,0 +1,3 @@
+(** String-keyed maps, shared across the code base. *)
+
+include Map.Make (String)

@@ -1,0 +1,1 @@
+lib/tiling/parity.ml: Char List Printf String Tiling

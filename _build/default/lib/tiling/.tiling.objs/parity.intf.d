@@ -1,0 +1,1 @@
+lib/tiling/parity.mli: Tiling

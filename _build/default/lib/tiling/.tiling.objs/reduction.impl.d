@@ -1,0 +1,1 @@
+lib/tiling/reduction.ml: Array Const Cq Datalog Dl_eval Fact Instance List Parse Printf Schema Tiling Ucq View

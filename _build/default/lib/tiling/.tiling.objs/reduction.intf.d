@@ -1,0 +1,1 @@
+lib/tiling/reduction.mli: Cq Datalog Instance Schema Tiling View

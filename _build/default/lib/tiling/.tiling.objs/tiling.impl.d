@@ -1,0 +1,1 @@
+lib/tiling/tiling.ml: Const Fact Fmt Hom Instance List Printf String

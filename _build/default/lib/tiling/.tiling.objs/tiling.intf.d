@@ -1,0 +1,1 @@
+lib/tiling/tiling.mli: Const Instance

@@ -1,0 +1,121 @@
+(* template points are (i,j) with 1 ≤ i,j ≤ 3; an edge is a pair of
+   adjacent points, normalized with the smaller point first *)
+
+let points = List.concat (List.init 3 (fun i -> List.init 3 (fun j -> (i + 1, j + 1))))
+
+let edge a b = if a <= b then (a, b) else (b, a)
+
+let incident_edges (i, j) =
+  let cand =
+    [
+      ((i, j), (i + 1, j));  (* right *)
+      ((i - 1, j), (i, j));  (* left *)
+      ((i, j), (i, j + 1));  (* up *)
+      ((i, j), (i, j - 1));  (* down; normalized below *)
+    ]
+  in
+  List.filter_map
+    (fun (a, b) ->
+      let (ax, ay), (bx, by) = (a, b) in
+      if ax >= 1 && ax <= 3 && ay >= 1 && ay <= 3
+         && bx >= 1 && bx <= 3 && by >= 1 && by <= 3
+      then Some (edge a b)
+      else None)
+    cand
+
+let tile_name (i, j) bits =
+  Printf.sprintf "p%d%d:%s" i j
+    (String.concat "" (List.map string_of_int bits))
+
+let template_point name =
+  (Char.code name.[1] - Char.code '0', Char.code name.[2] - Char.code '0')
+
+let tile_bits name =
+  let s = String.sub name 4 (String.length name - 4) in
+  List.init (String.length s) (fun i -> Char.code s.[i] - Char.code '0')
+
+(* all 0/1 vectors of length n with given parity *)
+let bit_vectors n parity =
+  let rec go n =
+    if n = 0 then [ [] ]
+    else List.concat_map (fun t -> [ 0 :: t; 1 :: t ]) (go (n - 1))
+  in
+  List.filter (fun bs -> List.fold_left ( + ) 0 bs mod 2 = parity) (go n)
+
+let tiles_of_point u =
+  let parity = if u = (1, 1) then 1 else 0 in
+  List.map (tile_name u) (bit_vectors (List.length (incident_edges u)) parity)
+
+let all_tiles = List.concat_map tiles_of_point points
+
+let bit_of name e =
+  let u = template_point name in
+  let bits = tile_bits name in
+  let rec idx i = function
+    | [] -> None
+    | e' :: rest -> if e' = e then Some (List.nth bits i) else idx (i + 1) rest
+  in
+  idx 0 (incident_edges u)
+
+(* compatibility of two tiles sharing template edge e (t1's edge e must
+   agree with t2's edge e') *)
+let agree t1 e1 t2 e2 =
+  match (bit_of t1 e1, bit_of t2 e2) with
+  | Some b1, Some b2 -> b1 = b2
+  | _ -> false
+
+let horizontal_pairs =
+  let pairs = ref [] in
+  List.iter
+    (fun t1 ->
+      List.iter
+        (fun t2 ->
+          let (i1, j1) = template_point t1 and (i2, j2) = template_point t2 in
+          let ok =
+            if i2 = i1 + 1 && j2 = j1 && i1 < 3 then
+              (* distinct adjacent template points *)
+              let e = edge (i1, j1) (i2, j2) in
+              agree t1 e t2 e
+            else if (i1, j1) = (i2, j2) && i1 = 2 then
+              (* same middle-column point: t1's right edge = t2's left edge *)
+              let e_right = edge (2, j1) (3, j1) in
+              let e_left = edge (1, j1) (2, j1) in
+              agree t1 e_right t2 e_left
+            else false
+          in
+          if ok then pairs := (t1, t2) :: !pairs)
+        all_tiles)
+    all_tiles;
+  !pairs
+
+let vertical_pairs =
+  let pairs = ref [] in
+  List.iter
+    (fun t1 ->
+      List.iter
+        (fun t2 ->
+          let (i1, j1) = template_point t1 and (i2, j2) = template_point t2 in
+          let ok =
+            if j2 = j1 + 1 && i2 = i1 && j1 < 3 then
+              let e = edge (i1, j1) (i2, j2) in
+              agree t1 e t2 e
+            else if (i1, j1) = (i2, j2) && j1 = 2 then
+              (* same middle-row point: t1's up edge = t2's down edge *)
+              let e_up = edge (i1, 2) (i1, 3) in
+              let e_down = edge (i1, 1) (i1, 2) in
+              agree t1 e_up t2 e_down
+            else false
+          in
+          if ok then pairs := (t1, t2) :: !pairs)
+        all_tiles)
+    all_tiles;
+  !pairs
+
+let tp_star =
+  {
+    Tiling.tiles = all_tiles;
+    hc = horizontal_pairs;
+    vc = vertical_pairs;
+    init = List.filter (fun t -> template_point t = (1, 1)) all_tiles;
+    final = List.filter (fun t -> template_point t = (3, 3)) all_tiles;
+  }

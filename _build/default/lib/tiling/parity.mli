@@ -1,0 +1,25 @@
+(** The tiling problem [TP*] of Lemma 6 (after Atserias–Bulatov–Dalmau).
+
+    Tiles are pairs of an "abstract grid point" [u] of the 3×3 template
+    grid and a 0/1 assignment to the edges of the template incident to
+    [u], with even parity everywhere except at the lower-left corner
+    (odd).  Compatibility makes adjacent concrete points agree on shared
+    edges.  No rectangular grid can be tiled (a global parity argument:
+    every edge is counted twice, but the corner demands odd total), yet
+    every k-unravelling of a large enough grid can — equivalently
+    (Fact 1), [I^grid →k I_TP*] while [I^grid ↛ I_TP*].  This witnesses
+    a monotonically-determined MDL query over UCQ views with no Datalog
+    rewriting (Theorem 8). *)
+
+val tp_star : Tiling.t
+
+val tile_name : int * int -> int list -> string
+(** [tile_name (i,j) bits]: the tile for template point (i,j) with the
+    given incident-edge bits (in the canonical edge order). *)
+
+val template_point : string -> int * int
+(** First-coordinate projection π1. *)
+
+val incident_edges : int * int -> ((int * int) * (int * int)) list
+(** The canonical enumeration of the template edges at a point; each edge
+    is (lower-left endpoint, upper-right endpoint). *)

@@ -1,0 +1,55 @@
+(** The Theorem 6 reduction: from a tiling problem [TP] to an MDL query
+    [Q_TP] and UCQ views [V_TP] such that [Q_TP] is monotonically
+    determined by [V_TP] iff [TP] has no solution (Prop. 10).
+
+    Conventions (the paper's Figures 1–2): the x-axis is a chain of
+    [XSucc] atoms marked [D], the y-axis a chain of [YSucc] atoms marked
+    [C], both starting at a common origin; grid points are linked to the
+    axes by [XProj]/[YProj]; [XEnd]/[YEnd] mark the axis tips.  (We fix
+    two evident typos of the conference version: the [D]/[C] marks in the
+    [A]/[B] rules are swapped to match the instance [I_ℓ] of Theorem 8,
+    and rule (10) projects the grid point onto both axes.  We additionally
+    make [Qstart] take one marked step on each axis: approximations with
+    an empty axis would otherwise have an empty [S] view and lose the
+    other axis's marks, breaking Prop. 10 — see EXPERIMENTS.md,
+    finding 2.) *)
+
+val schema_sigma : Tiling.t -> Schema.t
+(** σ: XSucc, YSucc, C, D, XEnd, YEnd, XProj, YProj, and one unary
+    relation per tile. *)
+
+val query : Tiling.t -> Datalog.query
+(** [Q_TP = Qstart ∨ Qhelper ∨ Qverify] as a single MDL query. *)
+
+val views : Tiling.t -> View.collection
+(** [V_TP]: the grid-generating UCQ view [S], atomic views for the
+    successor/end relations and tiles, and the special views
+    [VhelperC, VhelperD, VHA, VVA, VI, VF]. *)
+
+val ha_cq : Cq.t
+(** HA(z1,z2,x1,x2,y): z2 is the right neighbour of z1 (Figure 1(b)). *)
+
+val va_cq : Cq.t
+(** VA(z1,z2,x,y1,y2): z2 is the upper neighbour of z1. *)
+
+val axes : int -> Instance.t
+(** [I_ℓ] (Figure 2(a)): the two marked axes of length ℓ with a common
+    origin — the canonical expansion of [Qstart]. *)
+
+val grid_test : Tiling.t -> tau:(int -> int -> string) -> int -> int -> Instance.t
+(** Figure 1(a): the grid-like canonical test for an [n × m] grid with the
+    tile assignment [tau] — the instance obtained from the view image of
+    {!axes} by expanding every [S]-atom with the tile-projection disjunct. *)
+
+val tile_rel : string -> string
+(** Relation name of a tile's unary predicate. *)
+
+val stratified_rewriting : Tiling.t -> Instance.t -> bool
+(** The appendix's positive Boolean combination of Datalog queries and a
+    relational-algebra product test:
+    [∃VhC ∨ ∃VhD ∨ Q*verify ∨ (Q*start ∧ ProductTest)], evaluated over a
+    view-schema instance.  When no rectangular grid can be tiled by the
+    problem, this is an exact rewriting of [Q_TP] over [V_TP] — i.e. the
+    Theorem 8 example, though not Datalog-rewritable, is rewritable in
+    stratified Datalog.  [Q*start] reads the [C]/[D] marks from the
+    projections of [S]; [ProductTest] checks [S = π₁(S) × π₂(S)]. *)

@@ -1,0 +1,90 @@
+type t = {
+  tiles : string list;
+  hc : (string * string) list;
+  vc : (string * string) list;
+  init : string list;
+  final : string list;
+}
+
+let tile_const t = Const.named ("tile:" ^ t)
+
+let structure tp =
+  let facts =
+    List.map (fun (a, b) -> Fact.make "H" [ tile_const a; tile_const b ]) tp.hc
+    @ List.map (fun (a, b) -> Fact.make "V" [ tile_const a; tile_const b ]) tp.vc
+    @ List.map (fun a -> Fact.make "I" [ tile_const a ]) tp.init
+    @ List.map (fun a -> Fact.make "F" [ tile_const a ]) tp.final
+  in
+  Instance.of_list facts
+
+let grid_point i j = Const.named (Printf.sprintf "g%d_%d" i j)
+
+let grid n m =
+  let facts = ref [] in
+  for i = 1 to n do
+    for j = 1 to m do
+      if i < n then
+        facts := Fact.make "H" [ grid_point i j; grid_point (i + 1) j ] :: !facts;
+      if j < m then
+        facts := Fact.make "V" [ grid_point i j; grid_point i (j + 1) ] :: !facts
+    done
+  done;
+  facts := Fact.make "I" [ grid_point 1 1 ] :: !facts;
+  facts := Fact.make "F" [ grid_point n m ] :: !facts;
+  Instance.of_list !facts
+
+let can_tile inst tp = Hom.exists inst (structure tp)
+
+let tiling_of inst tp =
+  match Hom.find inst (structure tp) with
+  | None -> None
+  | Some h ->
+      Some
+        (List.map
+           (fun (a, b) ->
+             let name =
+               match b with
+               | Const.Named s when String.length s > 5 -> String.sub s 5 (String.length s - 5)
+               | _ -> Fmt.str "%a" Const.pp b
+             in
+             (a, name))
+           (Const.Map.bindings h))
+
+let has_solution ?(max = 6) tp =
+  let found = ref None in
+  (try
+     for total = 2 to 2 * max do
+       for n = 1 to min max (total - 1) do
+         let m = total - n in
+         if m >= 1 && m <= max && !found = None && can_tile (grid n m) tp then begin
+           found := Some (n, m);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+let horizontally_compatible tp a b = List.mem (a, b) tp.hc
+let vertically_compatible tp a b = List.mem (a, b) tp.vc
+
+(* one tile compatible with itself everywhere *)
+let simple_solvable =
+  {
+    tiles = [ "w" ];
+    hc = [ ("w", "w") ];
+    vc = [ ("w", "w") ];
+    init = [ "w" ];
+    final = [ "w" ];
+  }
+
+(* two tiles: "a" initial-only, "b" final-only, never compatible: only the
+   1×1 grid could work but it would need a tile both initial and final *)
+let simple_unsolvable =
+  {
+    tiles = [ "a"; "b" ];
+    hc = [];
+    vc = [];
+    init = [ "a" ];
+    final = [ "b" ];
+  }

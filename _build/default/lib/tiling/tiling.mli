@@ -1,0 +1,43 @@
+(** Tiling problems (paper §6).
+
+    A tiling problem [TP = (Tiles, HC, VC, IT, FT)] asks for an [n × m]
+    grid assignment respecting horizontal/vertical compatibility with an
+    initial tile at (1,1) and a final tile at (n,m).  Viewing [TP] as a
+    relational structure [I_TP] over [δ = {H, V, I, F}], an instance over
+    [δ] can be tiled iff it maps homomorphically into [I_TP]. *)
+
+type t = {
+  tiles : string list;
+  hc : (string * string) list;  (** horizontally compatible pairs *)
+  vc : (string * string) list;
+  init : string list;  (** IT *)
+  final : string list;  (** FT *)
+}
+
+val structure : t -> Instance.t
+(** [I_TP]: domain [tiles], [H]/[V] from the compatibility relations,
+    [I]/[F] from the initial/final sets. *)
+
+val grid : int -> int -> Instance.t
+(** [I^grid_{n,m}] over δ: H/V edges, I((1,1)), F((n,m)). *)
+
+val grid_point : int -> int -> Const.t
+
+val can_tile : Instance.t -> t -> bool
+(** Homomorphism into {!structure}. *)
+
+val tiling_of : Instance.t -> t -> (Const.t * string) list option
+(** An explicit tiling (element → tile name), if one exists. *)
+
+val has_solution : ?max:int -> t -> (int * int) option
+(** Search for the smallest solvable [n × m] grid with [n, m ≤ max]
+    (default 6). *)
+
+val horizontally_compatible : t -> string -> string -> bool
+val vertically_compatible : t -> string -> string -> bool
+
+val simple_solvable : t
+(** A tiny solvable problem (used in tests and benches). *)
+
+val simple_unsolvable : t
+(** A tiny unsolvable problem (incompatible initial and final rows). *)

@@ -1,0 +1,1 @@
+lib/treewidth/code.ml: Array Const Decomp Fact Fmt Hashtbl Instance Int List Option

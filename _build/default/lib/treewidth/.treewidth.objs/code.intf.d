@@ -1,0 +1,1 @@
+lib/treewidth/code.mli: Const Decomp Fmt Instance

@@ -1,0 +1,1 @@
+lib/treewidth/decomp.ml: Array Const Fact Fmt Gaifman Hashtbl Instance List Option

@@ -1,0 +1,1 @@
+lib/treewidth/decomp.mli: Const Fmt Instance

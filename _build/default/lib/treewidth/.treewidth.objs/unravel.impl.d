@@ -1,0 +1,1 @@
+lib/treewidth/unravel.ml: Array Const Decomp Fact Instance List Printf

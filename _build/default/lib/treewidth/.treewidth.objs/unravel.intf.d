@@ -1,0 +1,1 @@
+lib/treewidth/unravel.mli: Const Decomp Instance

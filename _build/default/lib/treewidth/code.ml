@@ -1,0 +1,177 @@
+type label = (string * int list) list
+type edge = (int * int) list
+type t = { label : label; children : (edge * t) list }
+
+let check_edge e =
+  let dom = List.map fst e and rng = List.map snd e in
+  let distinct l = List.length l = List.length (List.sort_uniq Int.compare l) in
+  if not (distinct dom && distinct rng) then
+    invalid_arg "Code.node: edge map is not a partial injection"
+
+let node label children =
+  let label = List.sort compare label in
+  let children =
+    List.map
+      (fun (e, c) ->
+        let e = List.sort compare e in
+        check_edge e;
+        (e, c))
+      children
+  in
+  { label; children }
+
+let leaf label = node label []
+
+let rec size t = 1 + List.fold_left (fun n (_, c) -> n + size c) 0 t.children
+
+let rec depth t =
+  1 + List.fold_left (fun d (_, c) -> max d (depth c)) 0 t.children
+
+let rec max_position t =
+  let m =
+    List.fold_left
+      (fun m (_, ps) -> List.fold_left max m ps)
+      (-1) t.label
+  in
+  List.fold_left
+    (fun m (e, c) ->
+      let m =
+        List.fold_left (fun m (i, j) -> max m (max i j)) m e
+      in
+      max m (max_position c))
+    m t.children
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: union-find over (node id, position).                      *)
+
+module UF = struct
+  type t = (int, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let rec find uf x =
+    match Hashtbl.find_opt uf x with
+    | None -> x
+    | Some p ->
+        let r = find uf p in
+        if r <> p then Hashtbl.replace uf x r;
+        r
+
+  let union uf a b =
+    let ra = find uf a and rb = find uf b in
+    if ra <> rb then Hashtbl.replace uf ra rb
+end
+
+let decode_internal t =
+  (* assign ids: (node_number, position) -> node_number * (k+1) + position;
+     we first bound positions. *)
+  let k = max_position t + 1 in
+  let uf = UF.create () in
+  let counter = ref 0 in
+  let atoms = ref [] in
+  (* returns the node number of the subtree root *)
+  let rec walk t =
+    let me = !counter in
+    incr counter;
+    List.iter (fun (rel, ps) -> atoms := (rel, List.map (fun p -> (me, p)) ps) :: !atoms) t.label;
+    List.iter
+      (fun (e, c) ->
+        let child = walk c in
+        List.iter
+          (fun (i, j) -> UF.union uf ((me * k) + i) ((child * k) + j))
+          e)
+      t.children;
+    me
+  in
+  let root = walk t in
+  let elem_tbl = Hashtbl.create 64 in
+  let elem (n, p) =
+    let r = UF.find uf ((n * k) + p) in
+    match Hashtbl.find_opt elem_tbl r with
+    | Some c -> c
+    | None ->
+        let c = Const.fresh () in
+        Hashtbl.add elem_tbl r c;
+        c
+  in
+  let inst =
+    List.fold_left
+      (fun acc (rel, coords) ->
+        Instance.add (Fact.make rel (List.map elem coords)) acc)
+      Instance.empty !atoms
+  in
+  let root_elem p =
+    let key = (root * k) + p in
+    let r = UF.find uf key in
+    Hashtbl.find_opt elem_tbl r
+  in
+  (inst, root_elem)
+
+let decode t = fst (decode_internal t)
+let decode_with_root t = decode_internal t
+
+(* ------------------------------------------------------------------ *)
+(* Standard code of a decomposition                                    *)
+
+let of_decomposition (td : Decomp.t) inst =
+  if not (Decomp.is_valid td inst) then
+    invalid_arg "Code.of_decomposition: invalid decomposition";
+  (* assign each fact to the shallowest covering node (DFS pre-order) *)
+  let remaining = ref (Instance.facts inst) in
+  let pos_in bag c =
+    let rec idx i = function
+      | [] -> None
+      | x :: rest -> if Const.equal x c then Some i else idx (i + 1) rest
+    in
+    idx 0 bag
+  in
+  let rec build (n : Decomp.node) =
+    let mine, rest =
+      List.partition
+        (fun (f : Fact.t) ->
+          Array.for_all (fun c -> Option.is_some (pos_in n.Decomp.bag c)) f.args)
+        !remaining
+    in
+    remaining := rest;
+    let label =
+      List.map
+        (fun (f : Fact.t) ->
+          ( f.rel,
+            Array.to_list f.args
+            |> List.map (fun c -> Option.get (pos_in n.Decomp.bag c)) ))
+        mine
+    in
+    let children =
+      List.map
+        (fun (ch : Decomp.node) ->
+          let e =
+            List.filteri (fun _ _ -> true) n.Decomp.bag
+            |> List.mapi (fun i c -> (i, c))
+            |> List.filter_map (fun (i, c) ->
+                   Option.map (fun j -> (i, j)) (pos_in ch.Decomp.bag c))
+          in
+          (e, build ch))
+        n.Decomp.children
+    in
+    node label children
+  in
+  build td
+
+let rec pp ppf t =
+  Fmt.pf ppf "{%a}%a"
+    Fmt.(
+      list ~sep:comma (fun ppf (r, ps) ->
+          Fmt.pf ppf "%s%a" r Fmt.(brackets (list ~sep:comma int)) ps))
+    t.label
+    (fun ppf -> function
+      | [] -> ()
+      | cs ->
+          Fmt.pf ppf "(%a)"
+            Fmt.(
+              list ~sep:sp (fun ppf (e, c) ->
+                  Fmt.pf ppf "%a→%a"
+                    (Fmt.list ~sep:Fmt.comma (fun ppf (i, j) ->
+                         Fmt.pf ppf "%d%d" i j))
+                    e pp c))
+            cs)
+    t.children

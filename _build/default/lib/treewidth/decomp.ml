@@ -1,0 +1,189 @@
+type node = { bag : Const.t list; children : node list }
+type t = node
+
+let rec nodes n = n :: List.concat_map nodes n.children
+let size t = List.length (nodes t)
+let width t = List.fold_left (fun m n -> max m (List.length n.bag)) 0 (nodes t)
+
+let l_measure t =
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun c ->
+          Hashtbl.replace counts c
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+        (List.sort_uniq Const.compare n.bag))
+    (nodes t);
+  Hashtbl.fold (fun _ v m -> max v m) counts 0
+
+let covers_tuple t cs =
+  List.exists
+    (fun n -> List.for_all (fun c -> List.mem c n.bag) cs)
+    (nodes t)
+
+let is_valid t inst =
+  let covers =
+    Instance.fold
+      (fun f ok -> ok && covers_tuple t (Const.Set.elements (Fact.consts f)))
+      inst true
+  in
+  (* connectivity: for each element, the nodes containing it form a
+     connected subtree, i.e. exactly one of them has no parent containing
+     the element *)
+  let ok = ref covers in
+  let roots = Hashtbl.create 32 in
+  let rec walk parent_bag n =
+    List.iter
+      (fun c ->
+        if not (List.mem c parent_bag) then
+          Hashtbl.replace roots c
+            (1 + Option.value ~default:0 (Hashtbl.find_opt roots c)))
+      (List.sort_uniq Const.compare n.bag);
+    List.iter (walk n.bag) n.children
+  in
+  walk [] t;
+  Const.Set.iter
+    (fun c ->
+      match Hashtbl.find_opt roots c with
+      | Some 1 -> ()
+      | Some _ | None -> ok := false)
+    (Instance.adom inst);
+  !ok
+
+let trivial inst = { bag = Const.Set.elements (Instance.adom inst); children = [] }
+
+(* min-fill elimination ordering over the Gaifman graph *)
+let heuristic inst =
+  let g = Gaifman.of_instance inst in
+  let adj = Hashtbl.create 32 in
+  List.iter (fun v -> Hashtbl.replace adj v (Gaifman.neighbours g v)) (Gaifman.nodes g);
+  let live = ref (Const.Set.of_list (Gaifman.nodes g)) in
+  let neighbours v =
+    Const.Set.inter !live
+      (Option.value ~default:Const.Set.empty (Hashtbl.find_opt adj v))
+  in
+  let fill_cost v =
+    let ns = Const.Set.elements (neighbours v) in
+    let cost = ref 0 in
+    let rec pairs = function
+      | [] -> ()
+      | x :: rest ->
+          List.iter
+            (fun y ->
+              if not (Const.Set.mem y (neighbours x)) then incr cost)
+            rest;
+          pairs rest
+    in
+    pairs ns;
+    !cost
+  in
+  (* eliminate; record (v, bag) in order *)
+  let order = ref [] in
+  while not (Const.Set.is_empty !live) do
+    let v =
+      Const.Set.fold
+        (fun v best ->
+          match best with
+          | None -> Some (v, fill_cost v)
+          | Some (_, c) ->
+              let c' = fill_cost v in
+              if c' < c then Some (v, c') else best)
+        !live None
+      |> Option.get |> fst
+    in
+    let ns = neighbours v in
+    (* add fill edges *)
+    Const.Set.iter
+      (fun x ->
+        let cur = Option.value ~default:Const.Set.empty (Hashtbl.find_opt adj x) in
+        Hashtbl.replace adj x (Const.Set.union cur (Const.Set.remove x ns)))
+      ns;
+    order := (v, Const.Set.elements (Const.Set.add v ns)) :: !order;
+    live := Const.Set.remove v !live
+  done;
+  let order = List.rev !order in
+  (* build the tree: parent of bag(v) is bag(first-later-eliminated
+     neighbour in bag(v)) *)
+  match order with
+  | [] -> { bag = []; children = [] }
+  | _ ->
+      let position = Hashtbl.create 32 in
+      List.iteri (fun i (v, _) -> Hashtbl.add position v i) order;
+      let arr = Array.of_list order in
+      let children = Array.make (Array.length arr) [] in
+      let root = Array.length arr - 1 in
+      Array.iteri
+        (fun i (v, bag) ->
+          if i < root then
+            let parent =
+              List.fold_left
+                (fun acc u ->
+                  if Const.equal u v then acc
+                  else
+                    let j = Hashtbl.find position u in
+                    match acc with
+                    | None -> Some j
+                    | Some j' -> Some (min j j')
+                    )
+                None bag
+            in
+            let p = match parent with Some j when j > i -> j | _ -> root in
+            children.(p) <- i :: children.(p))
+        arr;
+      let rec build i =
+        let _, bag = arr.(i) in
+        { bag; children = List.map build children.(i) }
+      in
+      build root
+
+let rec binarize n =
+  let children = List.map binarize n.children in
+  match children with
+  | [] | [ _ ] | [ _; _ ] -> { n with children }
+  | c :: rest ->
+      let rec chain = function
+        | [] -> assert false
+        | [ x ] -> x
+        | [ x; y ] -> { bag = n.bag; children = [ x; y ] }
+        | x :: more -> { bag = n.bag; children = [ x; chain more ] }
+      in
+      { n with children = [ c; chain rest ] }
+
+let extend t r =
+  (* element co-occurrence graph over bags *)
+  let co = Hashtbl.create 32 in
+  List.iter
+    (fun n ->
+      let b = List.sort_uniq Const.compare n.bag in
+      List.iter
+        (fun c ->
+          let cur = Option.value ~default:Const.Set.empty (Hashtbl.find_opt co c) in
+          Hashtbl.replace co c
+            (Const.Set.union cur (Const.Set.of_list b)))
+        b)
+    (nodes t);
+  let step s =
+    Const.Set.fold
+      (fun c acc ->
+        Const.Set.union acc
+          (Option.value ~default:Const.Set.empty (Hashtbl.find_opt co c)))
+      s s
+  in
+  let rec iterate s n = if n = 0 then s else iterate (step s) (n - 1) in
+  let rec go n =
+    let s = iterate (Const.Set.of_list n.bag) r in
+    { bag = Const.Set.elements s; children = List.map go n.children }
+  in
+  go t
+
+let treewidth_upper_bound inst = width (heuristic inst)
+
+let rec pp ppf n =
+  Fmt.pf ppf "[%a]%a"
+    Fmt.(list ~sep:comma Const.pp)
+    n.bag
+    (fun ppf -> function
+      | [] -> ()
+      | cs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:sp pp) cs)
+    n.children

@@ -1,0 +1,49 @@
+(** Tree decompositions (paper §3).
+
+    A decomposition of an instance is a rooted tree of bags (tuples of
+    distinct elements) such that every fact's elements appear together in
+    some bag and every element's set of bags is connected.  Following the
+    paper, the width of a decomposition is the maximum bag {e size} (not
+    size − 1). *)
+
+type node = { bag : Const.t list; children : node list }
+type t = node
+
+val width : t -> int
+(** Maximum bag size. *)
+
+val l_measure : t -> int
+(** The paper's [l(TD)]: the maximum, over elements, of the number of bags
+    containing the element. *)
+
+val nodes : t -> node list
+val size : t -> int
+
+val is_valid : t -> Instance.t -> bool
+(** Checks both decomposition conditions against the instance. *)
+
+val covers_tuple : t -> Const.t list -> bool
+(** Some bag contains all the given elements (used for rooted
+    decompositions of pairs [(I, ā)]). *)
+
+val trivial : Instance.t -> t
+(** The one-bag decomposition. *)
+
+val heuristic : Instance.t -> t
+(** A decomposition produced by min-fill elimination on the Gaifman graph.
+    Always valid; width is a (usually good) upper bound on treewidth. *)
+
+val binarize : t -> t
+(** An equivalent decomposition in which every node has at most two
+    children (the paper's convention for codes); inserts copies of bags. *)
+
+val extend : t -> int -> t
+(** Lemma 3's [r]-extension: replace each bag [b] by [ext(b, r)], where
+    [ext(b, n)] adds all elements sharing a bag with [ext(b, n-1)].  The
+    result has the same tree shape and covers every view fact whose
+    defining CQ has radius ≤ r. *)
+
+val treewidth_upper_bound : Instance.t -> int
+(** Width of {!heuristic}. *)
+
+val pp : t Fmt.t

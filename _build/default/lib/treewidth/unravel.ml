@@ -1,0 +1,97 @@
+type result = {
+  instance : Instance.t;
+  hom : Const.t Const.Map.t;
+  decomposition : Decomp.t;
+}
+
+let subsets_leq k l =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let tails = go rest in
+        tails @ List.filter_map
+                  (fun s -> if List.length s < k then Some (x :: s) else None)
+                  tails
+  in
+  List.filter (fun s -> s <> []) (go l)
+
+let fact_scopes inst =
+  Instance.fold
+    (fun f acc ->
+      let s = Const.Set.elements (Fact.consts f) in
+      if List.mem s acc then acc else s :: acc)
+    inst []
+
+let unravel ?(one_sharing = false) ?bags ~k ~depth inst =
+  let elements = Const.Set.elements (Instance.adom inst) in
+  let subsets =
+    match bags with Some bs -> bs | None -> subsets_leq k elements
+  in
+  let n_sub = List.length subsets in
+  (* crude size estimate: branching^(depth) *)
+  let branching = n_sub * if one_sharing then k + 1 else 1 in
+  let est =
+    let rec pow acc i = if i = 0 then acc else
+        if acc > 200_000 then acc else pow (acc * branching) (i - 1)
+    in
+    pow 1 depth
+  in
+  if est > 200_000 then
+    invalid_arg
+      (Printf.sprintf "Unravel.unravel: too many bags (%d subsets, depth %d)"
+         n_sub depth);
+  let facts = ref Instance.empty in
+  let hom = ref Const.Map.empty in
+  let in_subset s (f : Fact.t) =
+    Array.for_all (fun c -> List.exists (Const.equal c) s) f.args
+  in
+  let all_facts = Instance.facts inst in
+  (* build a node: [bag] is an assoc list original element -> copy *)
+  let rec build d (bag : (Const.t * Const.t) list) : Decomp.node =
+    (* add the facts of I restricted to this bag, on the copies *)
+    List.iter
+      (fun f ->
+        if in_subset (List.map fst bag) f then
+          facts :=
+            Instance.add
+              (Fact.map (fun c -> List.assoc c bag) f)
+              !facts)
+      all_facts;
+    let children =
+      if d = 0 then []
+      else
+        List.concat_map
+          (fun s ->
+            let sharings =
+              if not one_sharing then
+                [ List.filter (fun (o, _) -> List.exists (Const.equal o) s) bag ]
+              else
+                []
+                @ [ [] ]
+                @ List.filter_map
+                    (fun (o, c) ->
+                      if List.exists (Const.equal o) s then Some [ (o, c) ]
+                      else None)
+                    bag
+            in
+            List.map
+              (fun shared ->
+                let child_bag =
+                  List.map
+                    (fun o ->
+                      match List.assoc_opt o shared with
+                      | Some c -> (o, c)
+                      | None ->
+                          let c = Const.fresh () in
+                          hom := Const.Map.add c o !hom;
+                          (o, c))
+                    s
+                in
+                build (d - 1) child_bag)
+              sharings)
+          subsets
+    in
+    { Decomp.bag = List.map snd bag; children }
+  in
+  let root = build depth [] in
+  { instance = !facts; hom = !hom; decomposition = root }

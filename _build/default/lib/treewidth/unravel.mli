@@ -1,0 +1,40 @@
+(** k-unravellings and (1,k)-unravellings (paper §7).
+
+    A k-unravelling of [I] is an instance [U] with a homomorphism [Φ] to
+    [I] and a width-k tree decomposition whose bags are partial-isomorphic
+    copies of ≤k-subsets of [I], and in which every node has one child per
+    non-empty ≤k-subset of [I].  The (1,k) variant additionally shares at
+    most one element between any two bags.
+
+    True unravellings are infinite; we build the depth-[d] truncation,
+    which suffices for every finite-radius property the experiments check
+    (the depth is always stated by the caller). *)
+
+type result = {
+  instance : Instance.t;
+  hom : Const.t Const.Map.t;  (** Φ : unravelling → original *)
+  decomposition : Decomp.t;
+}
+
+val unravel :
+  ?one_sharing:bool ->
+  ?bags:Const.t list list ->
+  k:int ->
+  depth:int ->
+  Instance.t ->
+  result
+(** [one_sharing] selects the (1,k) variant (default false).
+
+    [bags] restricts the subsets used as child bags (default: all
+    non-empty subsets of size ≤ k).  Passing the fact scopes gives the
+    {e guarded} unravelling, which is what the constructions of §7 need
+    when facts are wider than the pebble count.
+
+    Size guard: raises [Invalid_argument] when the number of generated
+    bags would exceed 200_000. *)
+
+val fact_scopes : Instance.t -> Const.t list list
+(** The element sets of the facts of an instance (deduplicated). *)
+
+val subsets_leq : int -> 'a list -> 'a list list
+(** All non-empty subsets of size ≤ k (exposed for tests). *)

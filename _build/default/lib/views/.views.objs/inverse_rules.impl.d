@@ -1,0 +1,1 @@
+lib/views/inverse_rules.ml: Array Cq Datalog Dl_eval Format Hashtbl List Option Printf Queue Smap String View

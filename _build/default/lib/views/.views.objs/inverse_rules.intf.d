@@ -1,0 +1,1 @@
+lib/views/inverse_rules.mli: Const Datalog Instance View

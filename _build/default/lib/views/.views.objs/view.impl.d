@@ -1,0 +1,1 @@
+lib/views/view.ml: Const Cq Datalog Dl_approx Dl_eval Dl_fragment Fact Fmt Gaifman Instance List Printf Schema String Ucq

@@ -1,0 +1,129 @@
+type def =
+  | Cq_def of Cq.t
+  | Ucq_def of Ucq.t
+  | Datalog_def of Datalog.query
+
+type t = { name : string; def : def }
+type collection = t list
+
+let cq name q = { name; def = Cq_def q }
+let ucq name u = { name; def = Ucq_def u }
+let datalog name q = { name; def = Datalog_def q }
+
+let atomic name rel n =
+  let vars = List.init n (fun i -> Printf.sprintf "x%d" i) in
+  cq name
+    (Cq.make ~head:vars [ Cq.atom rel (List.map (fun v -> Cq.Var v) vars) ])
+
+let arity v =
+  match v.def with
+  | Cq_def q -> Cq.arity q
+  | Ucq_def u -> Ucq.arity u
+  | Datalog_def q -> Datalog.goal_arity q
+
+let def_as_datalog v =
+  match v.def with
+  | Cq_def q -> Datalog.of_cq ~goal:v.name q
+  | Ucq_def u -> Datalog.of_ucq ~goal:v.name u
+  | Datalog_def q ->
+      Datalog.rename_idbs
+        (fun g -> if String.equal g q.Datalog.goal then v.name else v.name ^ "$" ^ g)
+        q
+
+let def_approximations ?max_depth ?max_count v =
+  match v.def with
+  | Cq_def q -> [ q ]
+  | Ucq_def u -> u.Ucq.disjuncts
+  | Datalog_def q -> Dl_approx.approximations ?max_depth ?max_count q
+
+let view_schema (vs : collection) =
+  List.fold_left (fun s v -> Schema.add v.name (arity v) s) Schema.empty vs
+
+let base_schema (vs : collection) =
+  List.fold_left
+    (fun s v ->
+      let q = def_as_datalog v in
+      Schema.union s (Datalog.edb_schema q.Datalog.program))
+    Schema.empty vs
+
+let eval v inst =
+  let tuples =
+    match v.def with
+    | Cq_def q -> Cq.eval q inst
+    | Ucq_def u -> Ucq.eval u inst
+    | Datalog_def q -> Dl_eval.eval q inst
+  in
+  List.map (fun t -> { Fact.rel = v.name; args = t }) tuples
+
+let image vs inst =
+  List.fold_left
+    (fun acc v -> List.fold_left (fun acc f -> Instance.add f acc) acc (eval v inst))
+    Instance.empty vs
+
+let is_cq_collection vs =
+  List.for_all (fun v -> match v.def with Cq_def _ -> true | _ -> false) vs
+
+let is_fgdl_collection vs =
+  List.for_all
+    (fun v ->
+      match v.def with
+      | Cq_def _ -> true
+      | Ucq_def _ -> false
+      | Datalog_def q -> Dl_fragment.is_frontier_guarded q.Datalog.program)
+    vs
+
+let max_radius vs =
+  List.fold_left
+    (fun acc v ->
+      match (acc, v.def) with
+      | None, _ -> None
+      | Some r, Cq_def q -> (
+          match Cq.radius q with Some r' -> Some (max r r') | None -> None)
+      | Some _, _ -> None)
+    (Some 0) vs
+
+let all_connected_cqs vs =
+  List.for_all
+    (fun v -> match v.def with Cq_def q -> Cq.connected q | _ -> false)
+    vs
+
+let split_disconnected v =
+  match v.def with
+  | Cq_def q when not (Cq.connected q) ->
+      let g = Gaifman.of_instance (Cq.canonical_db q) in
+      let comps = Gaifman.components g in
+      let var_of_const c =
+        (* inverse of Cq.const_of_var *)
+        match c with
+        | Const.Named s when String.length s > 0 && s.[0] = '?' ->
+            Some (String.sub s 1 (String.length s - 1))
+        | _ -> None
+      in
+      let comp_vars =
+        List.map
+          (fun comp -> List.filter_map var_of_const (Const.Set.elements comp))
+          comps
+      in
+      let parts =
+        List.mapi
+          (fun i vars ->
+            let head = List.filter (fun v -> List.mem v vars) q.Cq.head in
+            {
+              name = Printf.sprintf "%s|%d" v.name i;
+              def = Cq_def { q with Cq.head };
+            })
+          comp_vars
+      in
+      (* only keep components that either export head variables or are the
+         sole component; pure-existential components are still needed as
+         Boolean guards, so keep them as 0-ary views *)
+      parts
+  | _ -> [ v ]
+
+let pp ppf v =
+  match v.def with
+  | Cq_def q -> Fmt.pf ppf "%s := %a" v.name Cq.pp q
+  | Ucq_def u -> Fmt.pf ppf "%s := %a" v.name Ucq.pp u
+  | Datalog_def q -> Fmt.pf ppf "%s := %a" v.name Datalog.pp_query q
+
+let pp_collection ppf vs = Fmt.(list ~sep:(any "@\n") pp) ppf vs

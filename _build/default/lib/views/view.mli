@@ -1,0 +1,63 @@
+(** Views and view images (paper §2).
+
+    A view is a pair [(V, Q_V)] of a view relation name and a defining
+    query over the base schema; a collection of views maps instances of
+    the base schema to instances of the view schema. *)
+
+type def =
+  | Cq_def of Cq.t
+  | Ucq_def of Ucq.t
+  | Datalog_def of Datalog.query
+
+type t = { name : string; def : def }
+
+type collection = t list
+
+val cq : string -> Cq.t -> t
+val ucq : string -> Ucq.t -> t
+val datalog : string -> Datalog.query -> t
+
+val atomic : string -> string -> int -> t
+(** [atomic v r n]: the view [V(x̄) ← R(x̄)] copying the arity-[n] base
+    relation [r]. *)
+
+val arity : t -> int
+
+val def_as_datalog : t -> Datalog.query
+(** Any definition as a Datalog query whose goal is the view name.
+    IDBs are renamed apart per view (prefixed with the view name). *)
+
+val def_approximations :
+  ?max_depth:int -> ?max_count:int -> t -> Cq.t list
+(** CQ approximations of the view definition (a single CQ for CQ views,
+    the disjuncts for UCQ views, unfoldings for Datalog views). *)
+
+val view_schema : collection -> Schema.t
+val base_schema : collection -> Schema.t
+
+val eval : t -> Instance.t -> Fact.t list
+(** Output facts [V(t̄)] of one view on a base instance. *)
+
+val image : collection -> Instance.t -> Instance.t
+(** The view image [V(I)]. *)
+
+val is_cq_collection : collection -> bool
+val is_fgdl_collection : collection -> bool
+(** Every definition is a CQ or a frontier-guarded / monadic program. *)
+
+val max_radius : collection -> int option
+(** Greatest radius of a CQ definition (Lemma 3's [r]); [None] if some CQ
+    definition is disconnected or some definition is not a CQ. *)
+
+val all_connected_cqs : collection -> bool
+
+val split_disconnected : t -> collection
+(** Replace a disconnected CQ view by connected views in the sense of the
+    proof of Theorem 2: each output component keeps its own variables and
+    existentially guards the other components.  Views whose definition is
+    already connected (or not a CQ) are returned unchanged.  Note the
+    resulting collection carries the same information as the original
+    view: the original can be reconstructed as the product of the parts. *)
+
+val pp : t Fmt.t
+val pp_collection : collection Fmt.t

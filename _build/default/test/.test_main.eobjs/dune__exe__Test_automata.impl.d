@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Backward Code Const Cq Cq_dta Datalog Decomp Dl_eval Fact Forward Instance List Md_decide Md_rewrite Nta Parse QCheck QCheck_alcotest Run Schema View

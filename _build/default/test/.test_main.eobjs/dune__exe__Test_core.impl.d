@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Cq Diamonds Dl_eval Instance List Md_decide Md_rewrite Md_separator Md_tests Parse Pebble Schema Ucq View

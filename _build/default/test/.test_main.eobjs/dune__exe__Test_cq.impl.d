@@ -1,0 +1,1 @@
+test/test_cq.ml: Alcotest Array Const Cq Fact Fmt Instance List Parse QCheck QCheck_alcotest Ucq

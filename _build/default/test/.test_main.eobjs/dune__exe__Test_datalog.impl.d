@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Const Cq Datalog Dl_approx Dl_binarize Dl_eval Dl_fragment Dl_normalize Dl_specialize Fact Fmt Instance List Parse Printf QCheck QCheck_alcotest Ucq

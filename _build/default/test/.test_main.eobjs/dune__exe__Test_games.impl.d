@@ -1,0 +1,1 @@
+test/test_games.ml: Alcotest Const Fact Hom Instance List Parse Pebble Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Dl_eval Encode Instance List String Th9 Tm View

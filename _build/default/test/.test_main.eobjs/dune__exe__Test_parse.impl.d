@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Const Cq Datalog Fact Instance List Parse Ucq

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Const Fact Fmt Gaifman Hom Instance List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_tiling.ml: Alcotest Cq Datalog Dl_eval Dl_fragment Instance List Md_rewrite Parity Pebble Printf Reduction Tiling View

@@ -1,0 +1,1 @@
+test/test_treewidth.ml: Alcotest Array Code Const Cq Decomp Fact Hom Instance List Option Parse Printf QCheck QCheck_alcotest Unravel View

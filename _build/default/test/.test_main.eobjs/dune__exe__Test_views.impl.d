@@ -1,0 +1,1 @@
+test/test_views.ml: Alcotest Array Const Datalog Dl_eval Fact Instance Inverse_rules List Md_rewrite Parse QCheck QCheck_alcotest Schema String View

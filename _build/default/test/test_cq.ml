@@ -1,0 +1,175 @@
+(* Tests for conjunctive queries and UCQs. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let c = Const.named
+
+let path2 = Parse.cq "q(x,y) <- E(x,z), E(z,y)"
+let edge = Parse.cq "q(x,y) <- E(x,y)"
+let triangle_q = Parse.cq "q() <- E(x,y), E(y,z), E(z,x)"
+
+let inst_path = Parse.instance "E(a,b). E(b,c)."
+let inst_tri = Parse.instance "E(x,y). E(y,z). E(z,x)."
+
+let test_eval () =
+  let out = Cq.eval path2 inst_path in
+  check_int "one 2-path" 1 (List.length out);
+  (match out with
+  | [ t ] ->
+      check_bool "a..c" true (Const.equal t.(0) (c "a") && Const.equal t.(1) (c "c"))
+  | _ -> Alcotest.fail "expected single tuple");
+  check_int "edges" 2 (List.length (Cq.eval edge inst_path));
+  check_int "paths in triangle" 3 (List.length (Cq.eval path2 inst_tri))
+
+let test_holds () =
+  check_bool "holds" true (Cq.holds path2 inst_path [| c "a"; c "c" |]);
+  check_bool "not holds" false (Cq.holds path2 inst_path [| c "a"; c "b" |]);
+  check_bool "boolean triangle yes" true (Cq.holds_boolean triangle_q inst_tri);
+  check_bool "boolean triangle no" false (Cq.holds_boolean triangle_q inst_path)
+
+let test_constants_in_body () =
+  let q = Parse.cq "q(x) <- E(x,'b')" in
+  let out = Cq.eval q inst_path in
+  check_int "only a" 1 (List.length out);
+  check_bool "is a" true (Const.equal (List.hd out).(0) (c "a"))
+
+let test_repeated_head_vars () =
+  let q = Cq.make ~head:[ "x"; "x" ] [ Parse.atom "U(x)" ] in
+  let i = Parse.instance "U(a)." in
+  let out = Cq.eval q i in
+  check_int "diag" 1 (List.length out);
+  check_bool "same" true (Const.equal (List.hd out).(0) (List.hd out).(1))
+
+let test_canonical_db () =
+  let db = Cq.canonical_db path2 in
+  check_int "two facts" 2 (Instance.size db);
+  check_int "three elements" 3 (Const.Set.cardinal (Instance.adom db));
+  (* round trip: of_instance gives an equivalent CQ *)
+  let q' = Cq.of_instance ~head:(Cq.head_consts path2) db in
+  check_bool "round trip equivalent" true (Cq.equivalent path2 q')
+
+let test_containment () =
+  (* 2-path is contained in 1-of-2-specializations? edge ⊆ ... no:
+     classic: path2 ⊄ edge, edge ⊄ path2;
+     q(x,y) <- E(x,z),E(z,y),E(x,w) is contained in path2 *)
+  check_bool "path2 ⊄ edge" false (Cq.contained_in path2 edge);
+  check_bool "edge ⊄ path2" false (Cq.contained_in edge path2);
+  let spec = Parse.cq "q(x,y) <- E(x,z), E(z,y), U(x)" in
+  check_bool "spec ⊆ path2" true (Cq.contained_in spec path2);
+  check_bool "path2 ⊄ spec" false (Cq.contained_in path2 spec);
+  (* an extra atom that is homomorphically implied does not strengthen *)
+  let implied = Parse.cq "q(x,y) <- E(x,z), E(z,y), E(x,w)" in
+  check_bool "implied atom: equivalent" true (Cq.equivalent path2 implied);
+  check_bool "refl" true (Cq.contained_in path2 path2)
+
+let test_containment_constants () =
+  let qa = Parse.cq "q() <- U('a')" in
+  let qx = Parse.cq "q() <- U(x)" in
+  check_bool "U(a) ⊆ ∃x U(x)" true (Cq.contained_in qa qx);
+  check_bool "∃x U(x) ⊄ U(a)" false (Cq.contained_in qx qa)
+
+let test_minimize () =
+  let redundant = Parse.cq "q(x,y) <- E(x,z), E(z,y), E(x,w), E(w,y)" in
+  let m = Cq.minimize redundant in
+  check_int "minimized to 2 atoms" 2 (List.length m.Cq.body);
+  check_bool "equivalent" true (Cq.equivalent m redundant);
+  let already = Cq.minimize path2 in
+  check_int "path2 already minimal" 2 (List.length already.Cq.body)
+
+let test_radius_connected () =
+  check_bool "path2 radius" true (Cq.radius path2 = Some 1);
+  check_bool "connected" true (Cq.connected path2);
+  let disc = Parse.cq "q() <- U(x), V(y)" in
+  check_bool "disconnected" false (Cq.connected disc);
+  check_bool "radius none" true (Cq.radius disc = None)
+
+let test_conjoin_freshen () =
+  let q1 = Parse.cq "q(x) <- U(x)" and q2 = Parse.cq "q(y) <- V(y)" in
+  let qq = Cq.conjoin q1 q2 in
+  check_int "arity 2" 2 (Cq.arity qq);
+  let i = Parse.instance "U(a). V(b)." in
+  check_int "product" 1 (List.length (Cq.eval qq i));
+  let fr = Cq.freshen q1 in
+  check_bool "freshen equivalent" true (Cq.equivalent q1 fr);
+  check_bool "fresh vars differ" true (fr.Cq.head <> q1.Cq.head)
+
+(* UCQ ------------------------------------------------------------- *)
+
+let ucq_paths = Parse.ucq "q(x,y) <- E(x,y). q(x,y) <- E(x,z), E(z,y)."
+
+let test_ucq_eval () =
+  check_int "union" 3 (List.length (Ucq.eval ucq_paths inst_path));
+  check_bool "holds direct" true (Ucq.holds ucq_paths inst_path [| c "a"; c "b" |]);
+  check_bool "holds 2path" true (Ucq.holds ucq_paths inst_path [| c "a"; c "c" |])
+
+let test_ucq_containment () =
+  check_bool "edge ⊆ union" true (Ucq.cq_contained_in edge ucq_paths);
+  check_bool "path2 ⊆ union" true (Ucq.cq_contained_in path2 ucq_paths);
+  let u1 = Ucq.of_cq edge in
+  check_bool "sub-union" true (Ucq.contained_in u1 ucq_paths);
+  check_bool "not contained" false (Ucq.contained_in ucq_paths u1);
+  check_bool "self" true (Ucq.equivalent ucq_paths ucq_paths)
+
+(* properties ------------------------------------------------------ *)
+
+let instance_gen =
+  QCheck.Gen.(
+    let cg = map (fun i -> Const.named ("e" ^ string_of_int i)) (int_bound 4) in
+    let fg =
+      let* r = int_bound 1 in
+      if r = 0 then
+        let* a = cg and* b = cg in
+        return (Fact.make "E" [ a; b ])
+      else
+        let* a = cg in
+        return (Fact.make "U" [ a ])
+    in
+    map Instance.of_list (list_size (int_bound 10) fg))
+
+let instance_arb =
+  QCheck.make ~print:(fun i -> Fmt.str "%a" Instance.pp i) instance_gen
+
+let prop_monotone =
+  QCheck.Test.make ~name:"CQ evaluation is monotone" ~count:80
+    (QCheck.pair instance_arb instance_arb) (fun (a, b) ->
+      let big = Instance.union a b in
+      let q = Parse.cq "q(x,y) <- E(x,z), E(z,y), U(x)" in
+      let small_out = Cq.eval q a in
+      List.for_all (fun t -> Cq.holds q big t) small_out)
+
+let prop_containment_sound =
+  QCheck.Test.make ~name:"containment sound on random instances" ~count:60
+    instance_arb (fun i ->
+      let q1 = Parse.cq "q(x) <- E(x,y), E(y,z)" in
+      let q2 = Parse.cq "q(x) <- E(x,y)" in
+      (* q1 ⊆ q2 holds; so every q1 answer is a q2 answer *)
+      Cq.contained_in q1 q2
+      && List.for_all (fun t -> Cq.holds q2 i t) (Cq.eval q1 i))
+
+let prop_minimize_equivalent =
+  QCheck.Test.make ~name:"minimize preserves semantics" ~count:40 instance_arb
+    (fun i ->
+      let q = Parse.cq "q(x) <- E(x,y), E(x,z), U(x)" in
+      let m = Cq.minimize q in
+      Cq.eval q i = Cq.eval m i)
+
+let qcheck =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_monotone; prop_containment_sound; prop_minimize_equivalent ]
+
+let suite =
+  [
+    Alcotest.test_case "eval" `Quick test_eval;
+    Alcotest.test_case "holds" `Quick test_holds;
+    Alcotest.test_case "constants in body" `Quick test_constants_in_body;
+    Alcotest.test_case "repeated head vars" `Quick test_repeated_head_vars;
+    Alcotest.test_case "canonical db" `Quick test_canonical_db;
+    Alcotest.test_case "containment" `Quick test_containment;
+    Alcotest.test_case "containment with constants" `Quick test_containment_constants;
+    Alcotest.test_case "minimize" `Quick test_minimize;
+    Alcotest.test_case "radius/connected" `Quick test_radius_connected;
+    Alcotest.test_case "conjoin/freshen" `Quick test_conjoin_freshen;
+    Alcotest.test_case "ucq eval" `Quick test_ucq_eval;
+    Alcotest.test_case "ucq containment" `Quick test_ucq_containment;
+  ]
+  @ qcheck

@@ -1,0 +1,107 @@
+(* Tests for existential pebble games (k-consistency). *)
+
+let check_bool = Alcotest.(check bool)
+
+let tri = Parse.instance "E(a,b). E(b,c). E(c,a)."
+let k2 = Parse.instance "E(u,v). E(v,u)."
+let loop = Parse.instance "E(o,o)."
+let path3 = Parse.instance "E(a,b). E(b,c). E(c,d)."
+
+let test_hom_implies_game () =
+  (* path3 → k2 (2-colourable), so duplicator wins every k *)
+  check_bool "path3 ->2 k2" true (Pebble.duplicator_wins ~k:2 path3 k2);
+  check_bool "path3 ->3 k2" true (Pebble.duplicator_wins ~k:3 path3 k2)
+
+let test_triangle_vs_k2 () =
+  (* classic: triangle is not 2-colourable but 2 pebbles can't tell *)
+  check_bool "tri ->2 k2" true (Pebble.duplicator_wins ~k:2 tri k2);
+  check_bool "tri not->3 k2" false (Pebble.duplicator_wins ~k:3 tri k2)
+
+let test_loop_target () =
+  (* everything maps into a loop *)
+  check_bool "tri ->3 loop" true (Pebble.duplicator_wins ~k:3 tri loop);
+  check_bool "path ->2 loop" true (Pebble.duplicator_wins ~k:2 path3 loop)
+
+let test_empty_target () =
+  check_bool "nonempty -> empty fails" false
+    (Pebble.duplicator_wins ~k:2 tri Instance.empty)
+
+let test_unary_mismatch () =
+  let src = Parse.instance "U(a)." and dst = Parse.instance "W(b)." in
+  check_bool "unary mismatch" false (Pebble.duplicator_wins ~k:1 src dst)
+
+let test_family () =
+  match Pebble.kconsistent ~k:2 path3 k2 with
+  | None -> Alcotest.fail "expected family"
+  | Some fam ->
+      check_bool "nonempty" true (Pebble.family_size fam > 0);
+      check_bool "contains empty map" true (Pebble.family_mem fam []);
+      (* a ↦ u is a valid pebble placement *)
+      check_bool "singleton" true
+        (Pebble.family_mem fam [ (Const.named "a", Const.named "u") ])
+
+let test_one_k () =
+  check_bool "(1,2): path3 vs k2" true (Pebble.one_k_consistent ~k:2 path3 k2);
+  check_bool "(1,2): tri vs k2" true (Pebble.one_k_consistent ~k:2 tri k2);
+  check_bool "(1,1): unary mismatch" false
+    (Pebble.one_k_consistent ~k:1
+       (Parse.instance "U(a).")
+       (Parse.instance "W(b)."))
+
+(* Fact 1 (sanity direction): if some treewidth<k instance maps into I but
+   not I', then I -/->k I'.  The triangle has treewidth 2 (< 3), maps into
+   itself but not into K2: hence tri -/->3 K2 — checked above.  Here the
+   converse direction on a sample: tri ->2 k2 and every width-≤1 (path)
+   pattern mapping into tri maps into k2. *)
+let test_fact1_sample () =
+  let paths = [ 1; 2; 3; 4; 5 ] in
+  List.iter
+    (fun n ->
+      let p =
+        Instance.of_list
+          (List.init n (fun i ->
+               Fact.make "E"
+                 [
+                   Const.named (Printf.sprintf "p%d" i);
+                   Const.named (Printf.sprintf "p%d" (i + 1));
+                 ]))
+      in
+      if Hom.exists p tri then
+        check_bool "path into k2 too" true (Hom.exists p k2))
+    paths
+
+(* property: homomorphism implies duplicator win; and wins are monotone
+   downwards in k *)
+let inst_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let cg = map (fun i -> Const.named ("e" ^ string_of_int i)) (int_bound 3) in
+      let fg =
+        let* a = cg and* b = cg in
+        return (Fact.make "E" [ a; b ])
+      in
+      map Instance.of_list (list_size (int_range 1 6) fg))
+
+let prop_hom_implies_win =
+  QCheck.Test.make ~name:"I → I' implies I →k I'" ~count:25
+    (QCheck.pair inst_gen inst_gen) (fun (a, b) ->
+      if Hom.exists a b then Pebble.duplicator_wins ~k:2 a b else true)
+
+let prop_win_antitone_k =
+  QCheck.Test.make ~name:"→3 implies →2" ~count:20
+    (QCheck.pair inst_gen inst_gen) (fun (a, b) ->
+      if Pebble.duplicator_wins ~k:3 a b then Pebble.duplicator_wins ~k:2 a b
+      else true)
+
+let suite =
+  [
+    Alcotest.test_case "hom implies game" `Quick test_hom_implies_game;
+    Alcotest.test_case "triangle vs K2" `Quick test_triangle_vs_k2;
+    Alcotest.test_case "loop target" `Quick test_loop_target;
+    Alcotest.test_case "empty target" `Quick test_empty_target;
+    Alcotest.test_case "unary mismatch" `Quick test_unary_mismatch;
+    Alcotest.test_case "winning family" `Quick test_family;
+    Alcotest.test_case "(1,k) games" `Quick test_one_k;
+    Alcotest.test_case "Fact 1 sample" `Quick test_fact1_sample;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_hom_implies_win; prop_win_antitone_k ]

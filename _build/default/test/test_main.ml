@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "mondet"
+    [
+      ("relational", Test_relational.suite);
+      ("cq", Test_cq.suite);
+      ("datalog", Test_datalog.suite);
+      ("parse", Test_parse.suite);
+      ("views", Test_views.suite);
+      ("treewidth", Test_treewidth.suite);
+      ("automata", Test_automata.suite);
+      ("games", Test_games.suite);
+      ("tiling", Test_tiling.suite);
+      ("machine", Test_machine.suite);
+      ("core", Test_core.suite);
+    ]

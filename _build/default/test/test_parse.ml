@@ -1,0 +1,68 @@
+(* Parser tests. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_rule () =
+  let r = Parse.rule "W1(x) <- T(x,y,z), B(z,w), B(y,w), W1(w)." in
+  check_int "four body atoms" 4 (List.length r.Datalog.body);
+  check_bool "head" true (r.Datalog.head.Cq.rel = "W1");
+  (* ':-' is accepted too *)
+  let r2 = Parse.rule "W1(x) :- T(x,y,z), B(z,w), B(y,w), W1(w)" in
+  check_bool "same" true (r = r2)
+
+let test_nullary () =
+  let r = Parse.rule "Goal <- U1(x), W1(x)." in
+  check_int "nullary head" 0 (List.length r.Datalog.head.Cq.args);
+  let r2 = Parse.rule "Goal() <- U1(x), W1(x)." in
+  check_bool "parens optional" true (r = r2)
+
+let test_constants () =
+  let r = Parse.rule "P(x) <- E(x,'b')" in
+  (match List.hd r.Datalog.body with
+  | { Cq.args = [ Cq.Var "x"; Cq.Cst c ]; _ } ->
+      check_bool "const b" true (Const.equal c (Const.named "b"))
+  | _ -> Alcotest.fail "bad parse")
+
+let test_instance () =
+  let i = Parse.instance "E(a,b). E(b,c). U(a). Zero." in
+  check_int "four facts" 4 (Instance.size i);
+  check_bool "nullary fact" true (Instance.mem (Fact.make "Zero" []) i)
+
+let test_comments () =
+  let i = Parse.instance "E(a,b). % an edge\nU(a)." in
+  check_int "comment skipped" 2 (Instance.size i)
+
+let test_program () =
+  let p = Parse.program "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y)." in
+  check_int "two rules" 2 (List.length p)
+
+let test_cq_ucq () =
+  let q = Parse.cq "q(x,y) <- E(x,z), E(z,y)" in
+  check_int "arity" 2 (Cq.arity q);
+  let u = Parse.ucq "q(x) <- U(x). q(x) <- V(x)." in
+  check_int "disjuncts" 2 (List.length u.Ucq.disjuncts)
+
+let test_errors () =
+  let raises s f =
+    match f () with
+    | exception Parse.Error _ -> ()
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail ("expected error: " ^ s)
+  in
+  raises "unterminated quote" (fun () -> Parse.rule "P(x) <- E(x,'b");
+  raises "head var not in body" (fun () -> Parse.rule "P(x) <- E(y,z)");
+  raises "garbage" (fun () -> Parse.program "P(x) <- @");
+  raises "ucq mixed heads" (fun () -> Parse.ucq "q(x) <- U(x). r(x) <- V(x).")
+
+let suite =
+  [
+    Alcotest.test_case "rule" `Quick test_rule;
+    Alcotest.test_case "nullary" `Quick test_nullary;
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "instance" `Quick test_instance;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "program" `Quick test_program;
+    Alcotest.test_case "cq/ucq" `Quick test_cq_ucq;
+    Alcotest.test_case "errors" `Quick test_errors;
+  ]

@@ -1,0 +1,209 @@
+(* Tests for the relational substrate: constants, facts, instances,
+   homomorphisms, Gaifman graphs. *)
+
+let c = Const.named
+let f rel args = Fact.make rel (List.map c args)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let i_of = Instance.of_list
+
+(* ---------------------------------------------------------------- *)
+(* Instances                                                         *)
+
+let test_instance_basic () =
+  let i = i_of [ f "R" [ "a"; "b" ]; f "R" [ "b"; "c" ]; f "U" [ "a" ] ] in
+  check_int "size" 3 (Instance.size i);
+  check_bool "mem" true (Instance.mem (f "R" [ "a"; "b" ]) i);
+  check_bool "not mem" false (Instance.mem (f "R" [ "a"; "a" ]) i);
+  let i' = Instance.add (f "R" [ "a"; "b" ]) i in
+  check_int "idempotent add" 3 (Instance.size i');
+  check_int "adom" 3 (Const.Set.cardinal (Instance.adom i));
+  check_bool "relations" true (Instance.relations i = [ "R"; "U" ])
+
+let test_instance_set_ops () =
+  let a = i_of [ f "R" [ "a"; "b" ]; f "U" [ "a" ] ] in
+  let b = i_of [ f "R" [ "a"; "b" ]; f "U" [ "b" ] ] in
+  check_int "union" 3 (Instance.size (Instance.union a b));
+  check_int "inter" 1 (Instance.size (Instance.inter a b));
+  check_int "diff" 1 (Instance.size (Instance.diff a b));
+  check_bool "subset" true (Instance.subset (Instance.inter a b) a);
+  check_bool "not subset" false (Instance.subset a b);
+  check_bool "equal" true (Instance.equal a (i_of [ f "U" [ "a" ]; f "R" [ "a"; "b" ] ]))
+
+let test_instance_restrict_map () =
+  let a = i_of [ f "R" [ "a"; "b" ]; f "U" [ "a" ] ] in
+  let r = Instance.restrict (String.equal "R") a in
+  check_int "restrict" 1 (Instance.size r);
+  let m = Instance.map (fun _ -> c "z") a in
+  check_bool "map collapses" true
+    (Instance.equal m (i_of [ f "R" [ "z"; "z" ]; f "U" [ "z" ] ]));
+  let ra = Instance.rename_apart a in
+  check_int "rename_apart same size" 2 (Instance.size ra);
+  check_bool "rename_apart disjoint adom" true
+    (Const.Set.is_empty (Const.Set.inter (Instance.adom a) (Instance.adom ra)))
+
+let test_tuples_with () =
+  let i = i_of [ f "R" [ "a"; "b" ]; f "R" [ "a"; "c" ]; f "R" [ "b"; "c" ] ] in
+  check_int "bound first" 2 (List.length (Instance.tuples_with i "R" [ (0, c "a") ]));
+  check_int "bound both" 1
+    (List.length (Instance.tuples_with i "R" [ (0, c "a"); (1, c "c") ]));
+  check_int "bound none" 3 (List.length (Instance.tuples_with i "R" []));
+  check_int "missing rel" 0 (List.length (Instance.tuples_with i "S" []))
+
+(* ---------------------------------------------------------------- *)
+(* Homomorphisms                                                     *)
+
+(* a directed path a->b->c and a triangle x->y->z->x *)
+let path3 = i_of [ f "E" [ "a"; "b" ]; f "E" [ "b"; "c" ] ]
+let triangle = i_of [ f "E" [ "x"; "y" ]; f "E" [ "y"; "z" ]; f "E" [ "z"; "x" ] ]
+let loop1 = i_of [ f "E" [ "o"; "o" ] ]
+
+let test_hom_exists () =
+  check_bool "path -> triangle" true (Hom.exists path3 triangle);
+  check_bool "triangle -/-> path" false (Hom.exists triangle path3);
+  check_bool "triangle -> loop" true (Hom.exists triangle loop1);
+  check_bool "path -> loop" true (Hom.exists path3 loop1);
+  check_bool "loop -/-> path" false (Hom.exists loop1 path3);
+  check_bool "loop -/-> triangle" false (Hom.exists loop1 triangle)
+
+let test_hom_is_hom () =
+  match Hom.find path3 triangle with
+  | None -> Alcotest.fail "expected hom"
+  | Some h -> check_bool "is_hom" true (Hom.is_hom h path3 triangle)
+
+let test_hom_init () =
+  (* with init fixing a↦x, a hom must send b↦y, c↦z *)
+  let init = Const.Map.singleton (c "a") (c "x") in
+  (match Hom.find ~init path3 triangle with
+  | None -> Alcotest.fail "expected hom with init"
+  | Some h ->
+      check_bool "b↦y" true (Const.equal (Const.Map.find (c "b") h) (c "y")));
+  (* init mapping both endpoints of an edge to non-edge: no hom *)
+  let bad =
+    Const.Map.add (c "a") (c "x") (Const.Map.singleton (c "b") (c "x"))
+  in
+  check_bool "no hom with bad init" false (Hom.exists ~init:bad path3 triangle)
+
+let test_hom_count () =
+  (* homs from a single edge into a triangle: 3 *)
+  let edge = i_of [ f "E" [ "u"; "v" ] ] in
+  check_int "edge into triangle" 3 (Hom.count edge triangle);
+  (* homs from path3 into triangle: each start vertex determines the rest *)
+  check_int "path3 into triangle" 3 (Hom.count path3 triangle);
+  check_int "limit" 2 (Hom.count ~limit:2 path3 triangle)
+
+let test_hom_nullary () =
+  let src = i_of [ Fact.make "G" [] ] in
+  let dst = i_of [ Fact.make "G" []; f "E" [ "a"; "b" ] ] in
+  check_bool "nullary hom" true (Hom.exists src dst);
+  check_bool "nullary no hom" false (Hom.exists src path3)
+
+let test_core () =
+  (* the core of a path with a pendant copy: E(a,b), E(a,b') folds to one edge *)
+  let i = i_of [ f "E" [ "a"; "b" ]; f "E" [ "a"; "b2" ] ] in
+  let core = Hom.endo_core i in
+  check_int "folded" 1 (Instance.size core);
+  (* triangle is a core *)
+  let core_t = Hom.endo_core triangle in
+  check_int "triangle is core" 3 (Instance.size core_t);
+  (* homomorphic equivalence preserved *)
+  check_bool "core <-> original" true
+    (Hom.exists core i && Hom.exists i core)
+
+(* ---------------------------------------------------------------- *)
+(* Gaifman graphs                                                    *)
+
+let test_gaifman () =
+  let g = Gaifman.of_instance path3 in
+  check_int "nodes" 3 (List.length (Gaifman.nodes g));
+  check_bool "dist a-c" true (Gaifman.distance g (c "a") (c "c") = Some 2);
+  check_bool "radius path3" true (Gaifman.radius g = Some 1);
+  check_bool "connected" true (Gaifman.connected g);
+  let disc = i_of [ f "U" [ "a" ]; f "U" [ "b" ] ] in
+  let gd = Gaifman.of_instance disc in
+  check_bool "disconnected" false (Gaifman.connected gd);
+  check_int "components" 2 (List.length (Gaifman.components gd));
+  check_bool "radius disconnected" true (Gaifman.radius gd = None)
+
+let test_gaifman_ternary () =
+  (* a ternary fact makes a clique of its elements *)
+  let i = i_of [ f "T" [ "a"; "b"; "c" ] ] in
+  let g = Gaifman.of_instance i in
+  check_bool "a-b adjacent" true (Gaifman.distance g (c "a") (c "b") = Some 1);
+  check_bool "radius 1" true (Gaifman.radius g = Some 1);
+  check_int "ball" 3 (Const.Set.cardinal (Gaifman.ball g (c "a") 1))
+
+(* ---------------------------------------------------------------- *)
+(* Properties                                                        *)
+
+let const_gen =
+  QCheck.Gen.(map (fun i -> Const.named ("e" ^ string_of_int i)) (int_bound 5))
+
+let fact_gen =
+  QCheck.Gen.(
+    let* rel = map (fun i -> [| "R"; "S"; "U" |].(i)) (int_bound 2) in
+    let arity = if rel = "U" then 1 else 2 in
+    let* args = list_repeat arity const_gen in
+    return (Fact.make rel args))
+
+let instance_gen = QCheck.Gen.(map Instance.of_list (list_size (int_bound 12) fact_gen))
+
+let instance_arb =
+  QCheck.make ~print:(fun i -> Fmt.str "%a" Instance.pp i) instance_gen
+
+let prop_union_monotone =
+  QCheck.Test.make ~name:"hom into superset still a hom" ~count:60
+    (QCheck.pair instance_arb instance_arb) (fun (a, b) ->
+      match Hom.find a (Instance.union a b) with
+      | None -> false
+      | Some h -> Hom.is_hom h a (Instance.union a b))
+
+let prop_identity_hom =
+  QCheck.Test.make ~name:"identity is a hom" ~count:60 instance_arb (fun a ->
+      Hom.exists a a)
+
+let prop_hom_compose =
+  QCheck.Test.make ~name:"hom composition" ~count:40
+    (QCheck.pair instance_arb instance_arb) (fun (a, b) ->
+      let ab = Instance.union a b in
+      match Hom.find a ab with
+      | None -> false
+      | Some h ->
+          (* compose with a collapsing endomorphism of ab *)
+          let z = Const.named "z" in
+          let g =
+            Const.Set.fold
+              (fun x m -> Const.Map.add x z m)
+              (Instance.adom ab) Const.Map.empty
+          in
+          let collapsed = Instance.map (fun _ -> z) ab in
+          Hom.is_hom (Hom.compose g h) a collapsed)
+
+let prop_core_equivalent =
+  QCheck.Test.make ~name:"core is hom-equivalent" ~count:30 instance_arb
+    (fun a ->
+      let core = Hom.endo_core a in
+      (Instance.is_empty a && Instance.is_empty core)
+      || (Hom.exists a core && Hom.exists core a))
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+  [ prop_union_monotone; prop_identity_hom; prop_hom_compose; prop_core_equivalent ]
+
+let suite =
+  [
+    Alcotest.test_case "instance basic" `Quick test_instance_basic;
+    Alcotest.test_case "instance set ops" `Quick test_instance_set_ops;
+    Alcotest.test_case "instance restrict/map" `Quick test_instance_restrict_map;
+    Alcotest.test_case "tuples_with" `Quick test_tuples_with;
+    Alcotest.test_case "hom exists" `Quick test_hom_exists;
+    Alcotest.test_case "hom is_hom" `Quick test_hom_is_hom;
+    Alcotest.test_case "hom init" `Quick test_hom_init;
+    Alcotest.test_case "hom count" `Quick test_hom_count;
+    Alcotest.test_case "hom nullary" `Quick test_hom_nullary;
+    Alcotest.test_case "core" `Quick test_core;
+    Alcotest.test_case "gaifman" `Quick test_gaifman;
+    Alcotest.test_case "gaifman ternary" `Quick test_gaifman_ternary;
+  ]
+  @ qcheck

@@ -1,0 +1,223 @@
+(* Tests for tree decompositions, codes and unravellings. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let c = Const.named
+
+let path n =
+  Instance.of_list
+    (List.init n (fun i ->
+         Fact.make "E"
+           [ c (Printf.sprintf "v%d" i); c (Printf.sprintf "v%d" (i + 1)) ]))
+
+let cycle n =
+  Instance.of_list
+    (List.init n (fun i ->
+         Fact.make "E"
+           [
+             c (Printf.sprintf "v%d" i);
+             c (Printf.sprintf "v%d" ((i + 1) mod n));
+           ]))
+
+let test_trivial () =
+  let i = path 3 in
+  let td = Decomp.trivial i in
+  check_bool "valid" true (Decomp.is_valid td i);
+  check_int "width = adom" 4 (Decomp.width td);
+  check_int "one node" 1 (Decomp.size td)
+
+let test_heuristic_path () =
+  let i = path 5 in
+  let td = Decomp.heuristic i in
+  check_bool "valid" true (Decomp.is_valid td i);
+  check_int "width 2 on a path" 2 (Decomp.width td)
+
+let test_heuristic_cycle () =
+  let i = cycle 6 in
+  let td = Decomp.heuristic i in
+  check_bool "valid" true (Decomp.is_valid td i);
+  check_int "width 3 on a cycle" 3 (Decomp.width td)
+
+let test_heuristic_ternary () =
+  let i = Parse.instance "T(a,b,c). T(b,c,d). U(a)." in
+  let td = Decomp.heuristic i in
+  check_bool "valid" true (Decomp.is_valid td i);
+  check_bool "width ≥ 3" true (Decomp.width td >= 3)
+
+let test_invalid_decomposition () =
+  let i = path 2 in
+  (* a decomposition missing the second edge *)
+  let bad = { Decomp.bag = [ c "v0"; c "v1" ]; children = [] } in
+  check_bool "invalid" false (Decomp.is_valid bad i)
+
+let test_l_measure () =
+  let i = path 3 in
+  let td = Decomp.heuristic i in
+  check_bool "l ≥ 1" true (Decomp.l_measure td >= 1);
+  check_int "trivial l" 1 (Decomp.l_measure (Decomp.trivial i))
+
+let test_binarize () =
+  let star =
+    Instance.of_list
+      (List.init 5 (fun i ->
+           Fact.make "E" [ c "hub"; c (Printf.sprintf "s%d" i) ]))
+  in
+  let td = Decomp.heuristic star in
+  let b = Decomp.binarize td in
+  check_bool "still valid" true (Decomp.is_valid b star);
+  check_bool "degree ≤ 2" true
+    (List.for_all
+       (fun (n : Decomp.node) -> List.length n.Decomp.children <= 2)
+       (Decomp.nodes b))
+
+let test_extend_lemma3 () =
+  (* Lemma 3: after applying radius-r connected CQ views, the r-extended
+     decomposition covers the view facts *)
+  let i = path 6 in
+  let td = Decomp.heuristic i in
+  let views = [ View.cq "P2" (Parse.cq "v(x,y) <- E(x,z), E(z,y)") ] in
+  let r = Option.get (View.max_radius views) in
+  let img = View.image views i in
+  let ext = Decomp.extend td r in
+  check_bool "extension covers view facts" true
+    (Decomp.is_valid ext (Instance.union i img));
+  (* the width bound k(k^{r+1}-1)/(k-1) of Lemma 3 *)
+  let k = Decomp.width td in
+  let bound =
+    float_of_int k *. (((float_of_int k ** float_of_int (r + 1)) -. 1.) /. float_of_int (k - 1))
+  in
+  check_bool "within Lemma 3 bound" true (float_of_int (Decomp.width ext) <= bound)
+
+(* ------------- codes ------------- *)
+
+let test_code_roundtrip () =
+  let i = path 4 in
+  let td = Decomp.binarize (Decomp.heuristic i) in
+  let code = Code.of_decomposition td i in
+  let decoded = Code.decode code in
+  check_int "same size" (Instance.size i) (Instance.size decoded);
+  check_bool "hom-equivalent both ways" true
+    (Hom.exists i decoded && Hom.exists decoded i);
+  check_int "same adom size"
+    (Const.Set.cardinal (Instance.adom i))
+    (Const.Set.cardinal (Instance.adom decoded))
+
+let test_code_roundtrip_ternary () =
+  let i = Parse.instance "T(a,b,c). B(c,d). B(b,d). U(a)." in
+  let td = Decomp.binarize (Decomp.heuristic i) in
+  let code = Code.of_decomposition td i in
+  let decoded = Code.decode code in
+  check_int "same size" (Instance.size i) (Instance.size decoded);
+  check_bool "isomorphic-ish" true (Hom.exists i decoded && Hom.exists decoded i)
+
+let test_code_manual () =
+  (* a two-node code sharing one element: E(x,y) at root pos (0,1); child
+     asserts U at the shared element *)
+  let child = Code.leaf [ ("U", [ 0 ]) ] in
+  let code = Code.node [ ("E", [ 0; 1 ]) ] [ ([ (1, 0) ], child) ] in
+  let decoded = Code.decode code in
+  check_int "two facts" 2 (Instance.size decoded);
+  check_int "two elements" 2 (Const.Set.cardinal (Instance.adom decoded));
+  (* the U element is the E-target *)
+  let e = List.hd (Instance.tuples decoded "E") in
+  let u = List.hd (Instance.tuples decoded "U") in
+  check_bool "shared element" true (Const.equal e.(1) u.(0))
+
+let test_code_bad_edge () =
+  match Code.node [] [ ([ (0, 0); (1, 0) ], Code.leaf []) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected invalid edge rejection"
+
+let test_code_stats () =
+  let code =
+    Code.node [ ("E", [ 0; 1 ]) ]
+      [ ([ (1, 0) ], Code.leaf [ ("U", [ 0 ]) ]); ([ (0, 0) ], Code.leaf []) ]
+  in
+  check_int "size" 3 (Code.size code);
+  check_int "depth" 2 (Code.depth code);
+  check_int "max position" 1 (Code.max_position code)
+
+(* ------------- unravellings ------------- *)
+
+let test_subsets () =
+  check_int "≤2 of 4" 10 (List.length (Unravel.subsets_leq 2 [ 1; 2; 3; 4 ]));
+  check_int "≤1 of 3" 3 (List.length (Unravel.subsets_leq 1 [ 1; 2; 3 ]))
+
+let test_unravel_hom () =
+  let i = cycle 3 in
+  let u = Unravel.unravel ~k:2 ~depth:2 i in
+  (* Φ is a homomorphism *)
+  check_bool "phi is hom" true
+    (Hom.is_hom u.Unravel.hom u.Unravel.instance i);
+  (* decomposition is valid and of width ≤ 2 *)
+  check_bool "decomp valid" true
+    (Decomp.is_valid u.Unravel.decomposition u.Unravel.instance);
+  check_bool "width ≤ 2" true (Decomp.width u.Unravel.decomposition <= 2)
+
+let test_unravel_breaks_cycle () =
+  (* the 2-unravelling of a triangle is a forest of edges: triangle-free *)
+  let i = cycle 3 in
+  let u = Unravel.unravel ~k:2 ~depth:3 i in
+  let triangle = Parse.cq "q() <- E(x,y), E(y,z), E(z,x)" in
+  check_bool "no triangle" false (Cq.holds_boolean triangle u.Unravel.instance)
+
+let test_unravel_guarded () =
+  let i = Parse.instance "R(a,b,c). R(b,c,d)." in
+  let u =
+    Unravel.unravel ~bags:(Unravel.fact_scopes i) ~k:3 ~depth:2 i
+  in
+  check_bool "has R facts" true (Instance.tuples u.Unravel.instance "R" <> []);
+  check_bool "phi hom" true (Hom.is_hom u.Unravel.hom u.Unravel.instance i)
+
+let test_unravel_size_guard () =
+  let big =
+    Instance.of_list
+      (List.init 20 (fun i ->
+           Fact.make "E" [ c (string_of_int i); c (string_of_int (i + 1)) ]))
+  in
+  match Unravel.unravel ~k:3 ~depth:5 big with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected size guard"
+
+(* property: decode ∘ encode preserves CQ answers *)
+let prop_code_preserves_cqs =
+  QCheck.Test.make ~name:"codes preserve Boolean CQs" ~count:25
+    (QCheck.make
+       QCheck.Gen.(
+         let cg = map (fun i -> c ("e" ^ string_of_int i)) (int_bound 4) in
+         let fg =
+           let* a = cg and* b = cg in
+           return (Fact.make "E" [ a; b ])
+         in
+         map Instance.of_list (list_size (int_range 1 8) fg)))
+    (fun i ->
+      let td = Decomp.binarize (Decomp.heuristic i) in
+      let code = Code.of_decomposition td i in
+      let decoded = Code.decode code in
+      let q1 = Parse.cq "q() <- E(x,y), E(y,z)" in
+      let q2 = Parse.cq "q() <- E(x,x)" in
+      Cq.holds_boolean q1 i = Cq.holds_boolean q1 decoded
+      && Cq.holds_boolean q2 i = Cq.holds_boolean q2 decoded)
+
+let suite =
+  [
+    Alcotest.test_case "trivial decomposition" `Quick test_trivial;
+    Alcotest.test_case "heuristic on path" `Quick test_heuristic_path;
+    Alcotest.test_case "heuristic on cycle" `Quick test_heuristic_cycle;
+    Alcotest.test_case "heuristic ternary" `Quick test_heuristic_ternary;
+    Alcotest.test_case "invalid decomposition" `Quick test_invalid_decomposition;
+    Alcotest.test_case "l measure" `Quick test_l_measure;
+    Alcotest.test_case "binarize" `Quick test_binarize;
+    Alcotest.test_case "extend (Lemma 3)" `Quick test_extend_lemma3;
+    Alcotest.test_case "code round trip" `Quick test_code_roundtrip;
+    Alcotest.test_case "code round trip ternary" `Quick test_code_roundtrip_ternary;
+    Alcotest.test_case "code manual" `Quick test_code_manual;
+    Alcotest.test_case "code bad edge" `Quick test_code_bad_edge;
+    Alcotest.test_case "code stats" `Quick test_code_stats;
+    Alcotest.test_case "subsets" `Quick test_subsets;
+    Alcotest.test_case "unravel hom" `Quick test_unravel_hom;
+    Alcotest.test_case "unravel breaks cycles" `Quick test_unravel_breaks_cycle;
+    Alcotest.test_case "unravel guarded" `Quick test_unravel_guarded;
+    Alcotest.test_case "unravel size guard" `Quick test_unravel_size_guard;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_code_preserves_cqs ]
