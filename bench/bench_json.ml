@@ -1,0 +1,245 @@
+(* Machine-readable benchmark trajectory.
+
+   [micro_tests] is one Bechamel benchmark per paper table/figure;
+   [scale_tests] adds scaling series (grid size, diamond chain length) and
+   raw engine throughput probes (join, homomorphism search, transitive
+   closure) so that engine changes show up even when the paper workloads
+   are too small to move.
+
+     dune exec bench/main.exe -- micro   # pretty table of the paper suite
+     dune exec bench/main.exe -- json    # full suite -> BENCH_eval.json
+
+   The JSON file is the benchmark record kept under version control: one
+   [{name; ns_per_run}] entry per benchmark, OLS ns/run estimates. *)
+
+(* [open Toolkit] below shadows the relational [Instance] with Bechamel's *)
+module Db = Instance
+
+open Bechamel
+open Toolkit
+
+let tc_view =
+  View.datalog "VT"
+    (Parse.query ~goal:"T" "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y).")
+
+(* ------------------------------------------------------------------ *)
+(* One benchmark per table / figure of the paper.                      *)
+
+let micro_tests =
+  let t1 =
+    (* Table 1 workload: Prop 8 rewriting construction + one verification *)
+    Test.make ~name:"table1/prop8-rewriting"
+      (Staged.stage (fun () ->
+           let q = Parse.cq "q() <- E(x,y), E(y,z)" in
+           let rw = Md_rewrite.prop8_cq q [ tc_view ] in
+           ignore
+             (Cq.holds_boolean rw
+                (View.image [ tc_view ] (Parse.instance "E(a,b). E(b,c).")))))
+  in
+  let t2 =
+    (* Table 2 workload: the Theorem 5 decision on a small case *)
+    Test.make ~name:"table2/thm5-decision"
+      (Staged.stage (fun () ->
+           ignore (Md_decide.cq_query (Parse.cq "q() <- E(x,y), E(y,z)") [ tc_view ])))
+  in
+  let f1 =
+    Test.make ~name:"figure1/grid-test-3x3"
+      (Staged.stage (fun () ->
+           let tp = Tiling.simple_solvable in
+           let t = Reduction.grid_test tp ~tau:(fun _ _ -> "w") 3 3 in
+           ignore (Dl_eval.holds_boolean (Reduction.query tp) t)))
+  in
+  let f2 =
+    Test.make ~name:"figure2/axes-image"
+      (Staged.stage (fun () ->
+           let tp = Tiling.simple_solvable in
+           ignore (View.image (Reduction.views tp) (Reduction.axes 3))))
+  in
+  let f3 =
+    Test.make ~name:"figure3/diamond-game"
+      (Staged.stage (fun () ->
+           let v_i = View.image Diamonds.views (Diamonds.chain 2) in
+           ignore (Pebble.one_k_consistent ~k:2 v_i v_i)))
+  in
+  let f4 =
+    Test.make ~name:"figure4/rectangle-row"
+      (Staged.stage
+         (let v_i = View.image Diamonds.views (Diamonds.chain 2) in
+          let row =
+            Cq.make ~head:[]
+              [
+                Cq.atom "R" [ Cq.Var "y0"; Cq.Var "z0"; Cq.Var "y1"; Cq.Var "z1" ];
+                Cq.atom "R" [ Cq.Var "y1"; Cq.Var "z1"; Cq.Var "y2"; Cq.Var "z2" ];
+              ]
+          in
+          fun () -> ignore (Cq.holds_boolean row v_i)))
+  in
+  let e6 =
+    Test.make ~name:"e6/canonical-tests"
+      (Staged.stage (fun () ->
+           let tp = Tiling.simple_unsolvable in
+           ignore
+             (Md_tests.decide_bounded ~max_depth:3 (Reduction.query tp)
+                (Reduction.views tp))))
+  in
+  let e8 =
+    Test.make ~name:"e8/tp-star-2-consistency"
+      (Staged.stage
+         (let g = Tiling.grid 3 3 and s = Tiling.structure Parity.tp_star in
+          fun () -> ignore (Pebble.duplicator_wins ~k:2 g s)))
+  in
+  let e9 =
+    Test.make ~name:"e9/separator-2^10"
+      (Staged.stage (fun () -> ignore (Tm.steps Tm.binary_counter "0000000000")))
+  in
+  let e11 =
+    Test.make ~name:"e11/fwd-bwd-pipeline"
+      (Staged.stage
+         (let q =
+            Parse.query ~goal:"G"
+              "P(x) <- U(x). P(x) <- R(x,y), P(y). G <- P(x), S(x)."
+          in
+          let views =
+            [ View.atomic "VR" "R" 2; View.atomic "VU" "U" 1; View.atomic "VS" "S" 1 ]
+          in
+          fun () -> ignore (Md_rewrite.forward_backward_atomic q views)))
+  in
+  Test.make_grouped ~name:"mondet"
+    [ t1; t2; f1; f2; f3; f4; e6; e8; e9; e11 ]
+
+(* ------------------------------------------------------------------ *)
+(* Scaling series and raw engine throughput.                           *)
+
+let node i = Const.named (Printf.sprintf "n%d" i)
+
+(* a chain 0 -> 1 -> ... -> n with a shortcut edge every fifth node, so
+   joins have both long paths and branching *)
+let chain_graph n =
+  let edges = List.init n (fun i -> Fact.make "E" [ node i; node (i + 1) ]) in
+  let shortcuts =
+    List.filteri (fun i _ -> i mod 5 = 0) (List.init (n - 5) (fun i -> i))
+    |> List.map (fun i -> Fact.make "E" [ node i; node (i + 5) ])
+  in
+  Db.of_list (edges @ shortcuts)
+
+let scale_tests =
+  let grid n =
+    Test.make ~name:(Printf.sprintf "grid-test-%dx%d" n n)
+      (Staged.stage (fun () ->
+           let tp = Tiling.simple_solvable in
+           let t = Reduction.grid_test tp ~tau:(fun _ _ -> "w") n n in
+           ignore (Dl_eval.holds_boolean (Reduction.query tp) t)))
+  in
+  let diamond n =
+    Test.make ~name:(Printf.sprintf "diamond-chain-%d" n)
+      (Staged.stage (fun () ->
+           ignore (Dl_eval.holds_boolean Diamonds.query (Diamonds.chain n))))
+  in
+  let join =
+    (* one three-way join, no recursion: isolates planner + index lookup *)
+    Test.make ~name:"raw/join-path3"
+      (Staged.stage
+         (let g = chain_graph 256 in
+          let q =
+            Parse.query ~goal:"Q" "Q(x,w) <- E(x,y), E(y,z), E(z,w)."
+          in
+          fun () -> ignore (Dl_eval.eval q g)))
+  in
+  let hom =
+    (* homomorphism search of a 5-edge path pattern into the graph *)
+    Test.make ~name:"raw/hom-path5"
+      (Staged.stage
+         (let g = chain_graph 256 in
+          let pat =
+            Cq.make ~head:[]
+              (List.init 5 (fun i ->
+                   Cq.atom "E"
+                     [
+                       Cq.Var (Printf.sprintf "v%d" i);
+                       Cq.Var (Printf.sprintf "v%d" (i + 1));
+                     ]))
+          in
+          fun () -> ignore (Cq.holds_boolean pat g)))
+  in
+  let tc =
+    (* recursive fixpoint: transitive closure of a 64-chain, ~2k derived
+       facts, exercises the semi-naive delta rounds *)
+    Test.make ~name:"raw/tc-chain-64"
+      (Staged.stage
+         (let g = chain_graph 64 in
+          let q =
+            Parse.query ~goal:"T" "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y)."
+          in
+          fun () -> ignore (Dl_eval.eval q g)))
+  in
+  Test.make_grouped ~name:"scale"
+    (List.map grid [ 3; 4; 5; 6; 7; 8 ]
+    @ List.map diamond [ 2; 3; 4; 5; 6 ]
+    @ [ join; hom; tc ])
+
+(* ------------------------------------------------------------------ *)
+(* Running and reporting.                                              *)
+
+let run tests =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) -> (name, t) :: acc
+      | _ -> acc)
+    results []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pretty t =
+  if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+  else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+  else if t > 1e3 then Printf.sprintf "%.2f µs" (t /. 1e3)
+  else Printf.sprintf "%.0f ns" t
+
+let print_rows rows =
+  Format.printf "  %-34s %16s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, t) -> Format.printf "  %-34s %16s@." name (pretty t))
+    rows
+
+let micro () =
+  Format.printf "@.### Bechamel micro-benchmarks (one per table/figure) ###@.";
+  print_rows (run micro_tests)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json ?(path = "BENCH_eval.json") () =
+  Format.printf "@.### Bechamel benchmarks -> %s ###@." path;
+  let rows = run micro_tests @ run scale_tests in
+  print_rows rows;
+  let oc = open_out path in
+  output_string oc "{\n";
+  output_string oc "  \"schema\": \"mondet-bench/1\",\n";
+  output_string oc "  \"unit\": \"ns_per_run\",\n";
+  output_string oc "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, t) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %.2f}%s\n"
+        (json_escape name) t
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s (%d benchmarks).@." path (List.length rows)

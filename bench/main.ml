@@ -3,9 +3,12 @@
    Bechamel micro-benchmark per table/figure on a representative
    workload.
 
-     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe            # reports + micro-benchmarks
      dune exec bench/main.exe -- report  # reports only
-     dune exec bench/main.exe -- micro   # micro-benchmarks only *)
+     dune exec bench/main.exe -- micro   # micro-benchmarks only
+     dune exec bench/main.exe -- json    # full suite -> BENCH_eval.json
+
+   The benchmark definitions and the JSON emitter live in {!Bench_json}. *)
 
 let report () =
   Format.printf "==============================================================@.";
@@ -28,129 +31,13 @@ let report () =
   Experiments.e13 ();
   Format.printf "@.report complete.@."
 
-(* ------------------------------------------------------------------ *)
-(* Bechamel micro-benchmarks: one Test.make per table / figure.        *)
-
-open Bechamel
-open Toolkit
-
-let tc_view =
-  View.datalog "VT"
-    (Parse.query ~goal:"T" "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y).")
-
-let micro_tests =
-  let t1 =
-    (* Table 1 workload: Prop 8 rewriting construction + one verification *)
-    Test.make ~name:"table1/prop8-rewriting"
-      (Staged.stage (fun () ->
-           let q = Parse.cq "q() <- E(x,y), E(y,z)" in
-           let rw = Md_rewrite.prop8_cq q [ tc_view ] in
-           ignore
-             (Cq.holds_boolean rw
-                (View.image [ tc_view ] (Parse.instance "E(a,b). E(b,c).")))))
-  in
-  let t2 =
-    (* Table 2 workload: the Theorem 5 decision on a small case *)
-    Test.make ~name:"table2/thm5-decision"
-      (Staged.stage (fun () ->
-           ignore (Md_decide.cq_query (Parse.cq "q() <- E(x,y), E(y,z)") [ tc_view ])))
-  in
-  let f1 =
-    Test.make ~name:"figure1/grid-test-3x3"
-      (Staged.stage (fun () ->
-           let tp = Tiling.simple_solvable in
-           let t = Reduction.grid_test tp ~tau:(fun _ _ -> "w") 3 3 in
-           ignore (Dl_eval.holds_boolean (Reduction.query tp) t)))
-  in
-  let f2 =
-    Test.make ~name:"figure2/axes-image"
-      (Staged.stage (fun () ->
-           let tp = Tiling.simple_solvable in
-           ignore (View.image (Reduction.views tp) (Reduction.axes 3))))
-  in
-  let f3 =
-    Test.make ~name:"figure3/diamond-game"
-      (Staged.stage (fun () ->
-           let v_i = View.image Diamonds.views (Diamonds.chain 2) in
-           ignore (Pebble.one_k_consistent ~k:2 v_i v_i)))
-  in
-  let f4 =
-    Test.make ~name:"figure4/rectangle-row"
-      (Staged.stage
-         (let v_i = View.image Diamonds.views (Diamonds.chain 2) in
-          let row =
-            Cq.make ~head:[]
-              [
-                Cq.atom "R" [ Cq.Var "y0"; Cq.Var "z0"; Cq.Var "y1"; Cq.Var "z1" ];
-                Cq.atom "R" [ Cq.Var "y1"; Cq.Var "z1"; Cq.Var "y2"; Cq.Var "z2" ];
-              ]
-          in
-          fun () -> ignore (Cq.holds_boolean row v_i)))
-  in
-  let e6 =
-    Test.make ~name:"e6/canonical-tests"
-      (Staged.stage (fun () ->
-           let tp = Tiling.simple_unsolvable in
-           ignore
-             (Md_tests.decide_bounded ~max_depth:3 (Reduction.query tp)
-                (Reduction.views tp))))
-  in
-  let e8 =
-    Test.make ~name:"e8/tp-star-2-consistency"
-      (Staged.stage
-         (let g = Tiling.grid 3 3 and s = Tiling.structure Parity.tp_star in
-          fun () -> ignore (Pebble.duplicator_wins ~k:2 g s)))
-  in
-  let e9 =
-    Test.make ~name:"e9/separator-2^10"
-      (Staged.stage (fun () -> ignore (Tm.steps Tm.binary_counter "0000000000")))
-  in
-  let e11 =
-    Test.make ~name:"e11/fwd-bwd-pipeline"
-      (Staged.stage
-         (let q =
-            Parse.query ~goal:"G"
-              "P(x) <- U(x). P(x) <- R(x,y), P(y). G <- P(x), S(x)."
-          in
-          let views =
-            [ View.atomic "VR" "R" 2; View.atomic "VU" "U" 1; View.atomic "VS" "S" 1 ]
-          in
-          fun () -> ignore (Md_rewrite.forward_backward_atomic q views)))
-  in
-  Test.make_grouped ~name:"mondet"
-    [ t1; t2; f1; f2; f3; f4; e6; e8; e9; e11 ]
-
-let micro () =
-  Format.printf "@.### Bechamel micro-benchmarks (one per table/figure) ###@.";
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] micro_tests in
-  let ols =
-    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
-  in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-  Format.printf "  %-34s %16s@." "benchmark" "time/run";
-  List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some (t :: _) ->
-          let pretty =
-            if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
-            else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
-            else if t > 1e3 then Printf.sprintf "%.2f µs" (t /. 1e3)
-            else Printf.sprintf "%.0f ns" t
-          in
-          Format.printf "  %-34s %16s@." name pretty
-      | _ -> Format.printf "  %-34s %16s@." name "n/a")
-    rows
-
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (match mode with
   | "report" -> report ()
-  | "micro" -> micro ()
+  | "micro" -> Bench_json.micro ()
+  | "json" -> Bench_json.json ()
   | _ ->
       report ();
-      micro ());
+      Bench_json.micro ());
   Format.printf "@.done.@."

@@ -5,6 +5,35 @@ type query = { program : program; goal : string }
 let atom_vars (a : Cq.atom) =
   List.filter_map (function Cq.Var v -> Some v | Cq.Cst _ -> None) a.args
 
+let atom_schema (a : Cq.atom) s = Schema.add a.rel (List.length a.args) s
+
+(* Arity consistency.  This runs on every rule/program construction, so it
+   must stay cheap: an association list for the handful of relations in one
+   rule, a hashtable for whole programs. *)
+let arity_clash rel m n =
+  invalid_arg
+    (Printf.sprintf "Datalog: relation %s used with arities %d and %d" rel m n)
+
+let check_rule_arities atoms =
+  let rec go seen = function
+    | [] -> ()
+    | (a : Cq.atom) :: rest -> (
+        let n = List.length a.args in
+        match List.assoc_opt a.rel seen with
+        | Some m -> if m <> n then arity_clash a.rel m n else go seen rest
+        | None -> go ((a.rel, n) :: seen) rest)
+  in
+  go [] atoms
+
+let check_arities tbl atoms =
+  List.iter
+    (fun (a : Cq.atom) ->
+      let n = List.length a.args in
+      match Hashtbl.find_opt tbl a.rel with
+      | Some m -> if m <> n then arity_clash a.rel m n
+      | None -> Hashtbl.add tbl a.rel n)
+    atoms
+
 let rule head body =
   List.iter
     (function
@@ -17,9 +46,19 @@ let rule head body =
       if not (List.mem v bv) then
         invalid_arg ("Datalog.rule: head variable " ^ v ^ " not in body"))
     (atom_vars head);
+  check_rule_arities (head :: body);
   { head; body }
 
-let query program goal = { program; goal }
+let validate p =
+  (* every relation used with a single arity across the whole program *)
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun r -> check_arities tbl (r.head :: r.body)) p
+
+let make program goal =
+  validate program;
+  { program; goal }
+
+let query = make
 
 let idbs p =
   List.map (fun r -> r.head.Cq.rel) p |> List.sort_uniq String.compare
@@ -31,8 +70,6 @@ let edbs p =
   List.concat_map (fun r -> List.map (fun (a : Cq.atom) -> a.rel) r.body) p
   |> List.sort_uniq String.compare
   |> List.filter (fun n -> not (List.mem n i))
-
-let atom_schema (a : Cq.atom) s = Schema.add a.rel (List.length a.args) s
 
 let schema p =
   List.fold_left
@@ -137,15 +174,13 @@ let union q1 q2 g =
   if a1 <> a2 then invalid_arg "Datalog.union: arity mismatch";
   let vars = List.init a1 (fun i -> Cq.Var (Printf.sprintf "u%d" i)) in
   let h = Cq.atom g vars in
-  {
-    program =
-      q1.program @ q2.program
-      @ [
-          rule h [ Cq.atom q1.goal vars ];
-          rule h [ Cq.atom q2.goal vars ];
-        ];
-    goal = g;
-  }
+  make
+    (q1.program @ q2.program
+    @ [
+        rule h [ Cq.atom q1.goal vars ];
+        rule h [ Cq.atom q2.goal vars ];
+      ])
+    g
 
 let pp_rule ppf r =
   Fmt.pf ppf "%a ← %a" Cq.pp_atom r.head

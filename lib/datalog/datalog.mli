@@ -13,10 +13,21 @@ type program = rule list
 type query = { program : program; goal : string }
 
 val rule : Cq.atom -> Cq.atom list -> rule
-(** @raise Invalid_argument if a head variable is absent from the body or
-    the head contains a constant. *)
+(** @raise Invalid_argument if a head variable is absent from the body,
+    the head contains a constant, or a relation occurs in the rule with
+    two different arities. *)
+
+val validate : program -> unit
+(** @raise Invalid_argument if a relation is used with two different
+    arities anywhere in the program.  Catching this at rule-load time is
+    what lets the evaluator treat an arity mismatch against an instance as
+    a hard error instead of silently skipping the fact. *)
+
+val make : program -> string -> query
+(** Validating constructor: runs {!validate} on the program. *)
 
 val query : program -> string -> query
+(** Alias of {!make}. *)
 
 val idbs : program -> string list
 (** Head predicates, sorted. *)

@@ -54,7 +54,7 @@ let distinct_head_vars (r : Datalog.rule) =
   let vs = Datalog.head_vars r in
   List.length vs = List.length (List.sort_uniq String.compare vs)
 
-let approximations_of_pred ?(max_depth = 4) ?(max_count = 2000) p name =
+let approximations_of_pred_uncached ~max_depth ~max_count p name =
   List.iter
     (fun r ->
       if not (distinct_head_vars r) then
@@ -139,6 +139,21 @@ let approximations_of_pred ?(max_depth = 4) ?(max_count = 2000) p name =
         result
   in
   approx name max_depth
+
+(* Approximation sets are requested repeatedly for the same few programs
+   (the query under test and each view definition, once per chase round):
+   cache them.  Keys are structural, values immutable. *)
+let approx_tbl : (Datalog.program * string * int * int, Cq.t list) Hashtbl.t =
+  Hashtbl.create 16
+
+let approximations_of_pred ?(max_depth = 4) ?(max_count = 2000) p name =
+  match Hashtbl.find_opt approx_tbl (p, name, max_depth, max_count) with
+  | Some r -> r
+  | None ->
+      let r = approximations_of_pred_uncached ~max_depth ~max_count p name in
+      if Hashtbl.length approx_tbl >= 256 then Hashtbl.reset approx_tbl;
+      Hashtbl.add approx_tbl (p, name, max_depth, max_count) r;
+      r
 
 let approximations ?max_depth ?max_count (q : Datalog.query) =
   approximations_of_pred ?max_depth ?max_count q.program q.goal

@@ -1,7 +1,7 @@
 type env = Const.t Smap.t
 
-(* Match a single atom against an instance, extending [env]. *)
-let match_atom inst (a : Cq.atom) env yield =
+(* Argument positions of [a] already fixed by [env] (or by constants). *)
+let bound_positions (a : Cq.atom) env =
   let bound = ref [] in
   List.iteri
     (fun i t ->
@@ -12,57 +12,101 @@ let match_atom inst (a : Cq.atom) env yield =
           | Some c -> bound := (i, c) :: !bound
           | None -> ()))
     a.args;
-  let candidates = Instance.tuples_with inst a.rel !bound in
-  let rec go = function
-    | [] -> true
-    | tup :: rest ->
-        if Array.length tup <> List.length a.args then go rest
-        else
-          let env' = ref env and ok = ref true in
-          List.iteri
-            (fun i t ->
-              if !ok then
-                match t with
-                | Cq.Cst c -> if not (Const.equal c tup.(i)) then ok := false
-                | Cq.Var v -> (
-                    match Smap.find_opt v !env' with
-                    | Some c -> if not (Const.equal c tup.(i)) then ok := false
-                    | None -> env' := Smap.add v tup.(i) !env'))
-            a.args;
-          if !ok then if yield !env' then go rest else false else go rest
-  in
-  ignore (go candidates)
+  !bound
 
-(* Enumerate all matches of [atoms] into [inst]; continuation-passing with
-   an early-stop boolean protocol mirroring {!Hom.enumerate}. *)
-let rec match_all inst atoms env yield =
-  match atoms with
-  | [] -> yield env
-  | a :: rest ->
-      let continue_ = ref true in
-      match_atom inst a env (fun env' ->
-          let c = match_all inst rest env' yield in
-          continue_ := c;
-          c);
-      !continue_
+(* Extend [env] by matching atom [a] against tuple [tup]; [None] on clash.
+   A tuple whose arity disagrees with the atom is a schema violation — the
+   program constructors validate arity, so this is loud, not silent. *)
+let extend_env (a : Cq.atom) tup env =
+  if Array.length tup <> List.length a.args then
+    invalid_arg
+      (Printf.sprintf "Dl_eval: %s has a fact of arity %d but an atom of arity %d"
+         a.rel (Array.length tup) (List.length a.args));
+  let env' = ref env and ok = ref true in
+  List.iteri
+    (fun i t ->
+      if !ok then
+        match t with
+        | Cq.Cst c -> if not (Const.equal c tup.(i)) then ok := false
+        | Cq.Var v -> (
+            match Smap.find_opt v !env' with
+            | Some c -> if not (Const.equal c tup.(i)) then ok := false
+            | None -> env' := Smap.add v tup.(i) !env'))
+    a.args;
+  if !ok then Some !env' else None
+
+(* Enumerate all matches of the (atom, source-instance) pairs in [sources],
+   choosing the next atom dynamically: the one with the fewest index
+   candidates under the bindings accumulated so far.  Returns [false] when
+   a [yield] stopped the enumeration. *)
+let match_plan sources env yield =
+  let arr = Array.of_list sources in
+  let n = Array.length arr in
+  let swap i j =
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  in
+  let rec solve k env =
+    if k = n then yield env
+    else begin
+      let best = ref k
+      and best_bound = ref (bound_positions (fst arr.(k)) env)
+      and best_cost = ref max_int in
+      let a0, src0 = arr.(k) in
+      best_cost := Instance.estimate_with src0 a0.Cq.rel !best_bound;
+      for j = k + 1 to n - 1 do
+        if !best_cost > 0 then begin
+          let a, src = arr.(j) in
+          let b = bound_positions a env in
+          let c = Instance.estimate_with src a.Cq.rel b in
+          if c < !best_cost then begin
+            best := j;
+            best_bound := b;
+            best_cost := c
+          end
+        end
+      done;
+      swap k !best;
+      let a, src = arr.(k) in
+      let candidates = Instance.tuples_with src a.Cq.rel !best_bound in
+      let rec go = function
+        | [] -> true
+        | tup :: rest -> (
+            match extend_env a tup env with
+            | Some env' -> if solve (k + 1) env' then go rest else false
+            | None -> go rest)
+      in
+      let continue_ = go candidates in
+      swap k !best;
+      continue_
+    end
+  in
+  solve 0 env
+
+(* semi-naive split: some atom matches the delta; atoms before it match
+   only the old facts [old = inst \ delta] (so a derivation using several
+   delta facts is produced exactly once), atoms after it match the full
+   instance. *)
+let match_body_semi ~old ~delta inst atoms env yield =
+  let rec split pre = function
+    | [] -> true
+    | a :: post ->
+        let sources =
+          (a, delta)
+          :: List.rev_append
+               (List.rev_map (fun x -> (x, old)) pre)
+               (List.map (fun x -> (x, inst)) post)
+        in
+        if match_plan sources env yield then split (a :: pre) post else false
+  in
+  ignore (split [] atoms)
 
 let match_body ?delta inst atoms env yield =
   match delta with
-  | None -> ignore (match_all inst atoms env yield)
-  | Some d ->
-      (* at least one atom must match the delta: try each atom first
-         against the delta, the rest against the full instance. *)
-      let rec split pre = function
-        | [] -> true
-        | a :: post ->
-            let cont = ref true in
-            match_atom d a env (fun env' ->
-                let c = match_all inst (List.rev_append pre post) env' yield in
-                cont := c;
-                c);
-            if !cont then split (a :: pre) post else false
-      in
-      ignore (split [] atoms)
+  | None ->
+      ignore (match_plan (List.map (fun a -> (a, inst)) atoms) env yield)
+  | Some d -> match_body_semi ~old:(Instance.diff inst d) ~delta:d inst atoms env yield
 
 let head_fact (r : Datalog.rule) env =
   let args =
@@ -74,40 +118,274 @@ let head_fact (r : Datalog.rule) env =
   in
   Fact.make r.head.Cq.rel args
 
-let fixpoint p inst =
+exception Stopped of Instance.t
+
+(* Semi-naive fixpoint.  [stop] is probed on every newly derived fact:
+   returning [true] aborts the iteration with the facts derived so far —
+   this is what makes Boolean goal checks sublinear in the fixpoint. *)
+(* ------------------------------------------------------------------ *)
+(* Slot-compiled rules: the fixpoint's inner loop.  Variables are numbered
+   into slots of a mutable binding array, so matching a tuple is array
+   reads/writes (undone via a trail on backtracking) instead of string-map
+   operations.  Atom order is still chosen dynamically per firing, but the
+   selectivity scan works directly on the compiled terms and the relations'
+   indexes — no intermediate lists. *)
+
+type cterm = Cslot of int | Cconst of Const.t
+
+type catom = { crel : string; cterms : cterm array }
+
+type crule = {
+  nvars : int;
+  cbody : catom array;
+  chead : catom;
+  crels : string list; (* distinct body relations, for the relevance filter *)
+}
+
+let compile_rule (r : Datalog.rule) =
+  let tbl = Hashtbl.create 8 and n = ref 0 in
+  let slot v =
+    match Hashtbl.find_opt tbl v with
+    | Some s -> s
+    | None ->
+        let s = !n in
+        incr n;
+        Hashtbl.add tbl v s;
+        s
+  in
+  let cterm = function Cq.Var v -> Cslot (slot v) | Cq.Cst c -> Cconst c in
+  let catom (a : Cq.atom) =
+    { crel = a.rel; cterms = Array.of_list (List.map cterm a.args) }
+  in
+  let cbody = Array.of_list (List.map catom r.body) in
+  let chead = catom r.head in
+  {
+    nvars = !n;
+    cbody;
+    chead;
+    crels =
+      List.map (fun (a : Cq.atom) -> a.rel) r.body
+      |> List.sort_uniq String.compare;
+  }
+
+(* Compiled programs are cached under physical equality: the constructors
+   upstream memoize their programs, so repeated fixpoints over the same
+   query compile once. *)
+let compiled_cache : (Datalog.program * crule list) list ref = ref []
+
+let compile (p : Datalog.program) =
+  match List.find_opt (fun (p', _) -> p' == p) !compiled_cache with
+  | Some (_, c) -> c
+  | None ->
+      let c = List.map compile_rule p in
+      let keep =
+        if List.length !compiled_cache >= 32 then [] else !compiled_cache
+      in
+      compiled_cache := (p, c) :: keep;
+      c
+
+(* Smallest index bucket consistent with the bindings so far (the whole
+   relation if no position is bound); also reports the best bucket's
+   position/constant so the caller can fetch exactly those candidates. *)
+let select_candidates (a : catom) env src =
+  match Instance.index src a.crel with
+  | None -> []
+  | Some idx ->
+      let best = ref (Index.size idx) and where = ref None in
+      Array.iteri
+        (fun p t ->
+          let c = match t with Cconst c -> Some c | Cslot s -> env.(s) in
+          match c with
+          | None -> ()
+          | Some c ->
+              let n = Index.count idx p c in
+              if n < !best || !where = None then begin
+                best := n;
+                where := Some (p, c)
+              end)
+        a.cterms;
+      (match !where with
+      | None -> Index.all idx
+      | Some (p, c) -> Index.lookup idx p c)
+
+let estimate_atom (a : catom) env src =
+  match Instance.index src a.crel with
+  | None -> 0
+  | Some idx ->
+      let best = ref (Index.size idx) in
+      Array.iteri
+        (fun p t ->
+          match (match t with Cconst c -> Some c | Cslot s -> env.(s)) with
+          | Some c -> best := min !best (Index.count idx p c)
+          | None -> ())
+        a.cterms;
+      !best
+
+(* Match [tup] against [a], binding fresh slots; returns the number of
+   slots pushed on [trail] (to undo), or [-1] on mismatch (already
+   undone). *)
+let match_tuple (a : catom) tup env trail tp =
+  let nt = Array.length a.cterms in
+  if Array.length tup <> nt then
+    invalid_arg
+      (Printf.sprintf "Dl_eval: %s has a fact of arity %d but an atom of arity %d"
+         a.crel (Array.length tup) nt);
+  let rec go i pushed =
+    if i = nt then pushed
+    else
+      let fail () =
+        for k = tp to tp + pushed - 1 do
+          env.(trail.(k)) <- None
+        done;
+        -1
+      in
+      match a.cterms.(i) with
+      | Cconst c -> if Const.equal c tup.(i) then go (i + 1) pushed else fail ()
+      | Cslot s -> (
+          match env.(s) with
+          | Some c -> if Const.equal c tup.(i) then go (i + 1) pushed else fail ()
+          | None ->
+              env.(s) <- Some tup.(i);
+              trail.(tp + pushed) <- s;
+              go (i + 1) (pushed + 1))
+  in
+  go 0 0
+
+(* Enumerate matches of [cr.cbody] where atom [i] draws its candidates from
+   [sources.(i)]; atoms are matched most-constrained-first.  [on_match]
+   returns [false] to stop.  Returns [false] iff stopped. *)
+let run_compiled (cr : crule) (sources : Instance.t array) on_match =
+  let nb = Array.length cr.cbody in
+  let env = Array.make (max cr.nvars 1) None in
+  let trail = Array.make (max cr.nvars 1) (-1) in
+  let order = Array.init nb (fun i -> i) in
+  let rec solve k tp =
+    if k = nb then on_match env
+    else begin
+      let best = ref k and best_cost = ref max_int in
+      for j = k to nb - 1 do
+        if !best_cost > 0 then begin
+          let i = order.(j) in
+          let c = estimate_atom cr.cbody.(i) env sources.(i) in
+          if c < !best_cost then begin
+            best := j;
+            best_cost := c
+          end
+        end
+      done;
+      let tmp = order.(k) in
+      order.(k) <- order.(!best);
+      order.(!best) <- tmp;
+      let i = order.(k) in
+      let a = cr.cbody.(i) in
+      let rec go = function
+        | [] -> true
+        | tup :: rest -> (
+            match match_tuple a tup env trail tp with
+            | -1 -> go rest
+            | pushed ->
+                let cont = solve (k + 1) (tp + pushed) in
+                for t = tp to tp + pushed - 1 do
+                  env.(trail.(t)) <- None
+                done;
+                if cont then go rest else false)
+      in
+      let cont = go (select_candidates a env sources.(i)) in
+      let tmp = order.(k) in
+      order.(k) <- order.(!best);
+      order.(!best) <- tmp;
+      cont
+    end
+  in
+  ignore (solve 0 0)
+
+let chead_fact (cr : crule) env =
+  {
+    Fact.rel = cr.chead.crel;
+    args =
+      Array.map
+        (function
+          | Cslot s -> ( match env.(s) with Some c -> c | None -> assert false)
+          | Cconst _ -> assert false (* ruled out by Datalog.rule *))
+        cr.chead.cterms;
+  }
+
+let fixpoint_gen ?(stop = fun _ -> false) p inst =
+  let rules = compile p in
+  let derive cr full fresh env =
+    let f = chead_fact cr env in
+    if not (Instance.mem f full) then begin
+      fresh := Instance.add f !fresh;
+      if stop f then raise_notrace (Stopped (Instance.union full !fresh))
+    end;
+    true
+  in
   (* initial round: naive evaluation of every rule *)
-  let fire ?delta full =
+  let fire_naive full =
     let fresh = ref Instance.empty in
     List.iter
-      (fun (r : Datalog.rule) ->
-        match_body ?delta full r.body Smap.empty (fun env ->
-            let f = head_fact r env in
-            if not (Instance.mem f full) then fresh := Instance.add f !fresh;
-            true))
-      p;
+      (fun cr ->
+        let sources = Array.make (Array.length cr.cbody) full in
+        run_compiled cr sources (derive cr full fresh))
+      rules;
     !fresh
   in
-  let rec loop full delta =
-    if Instance.is_empty delta then full
-    else
-      let fresh = fire ~delta full in
-      let fresh = Instance.diff fresh full in
-      loop (Instance.union full fresh) fresh
+  (* delta round: for each rule and each body position whose relation has
+     delta facts, match that occurrence against the delta, earlier atoms
+     against the old facts and later ones against the full instance — each
+     new derivation is found exactly once. *)
+  let fire_semi ~old ~delta full =
+    let fresh = ref Instance.empty in
+    List.iter
+      (fun cr ->
+        if List.exists (fun r -> Instance.cardinal delta r > 0) cr.crels then begin
+          let nb = Array.length cr.cbody in
+          let sources = Array.make nb full in
+          for j = 0 to nb - 1 do
+            if Instance.cardinal delta cr.cbody.(j).crel > 0 then begin
+              sources.(j) <- delta;
+              run_compiled cr sources (derive cr full fresh);
+              sources.(j) <- old
+            end
+            else sources.(j) <- old
+          done
+        end)
+      rules;
+    !fresh
   in
-  let first = fire inst in
-  loop (Instance.union inst first) first
+  (* [old] is the previous round's [full], so [full = old ∪ delta] and the
+     semi-naive split needs no set difference; [derive] only ever puts facts
+     absent from [full] into the delta, so no deduplication is needed
+     either. *)
+  let rec loop old delta =
+    let full = Instance.union old delta in
+    if Instance.is_empty delta then full
+    else loop full (fire_semi ~old ~delta full)
+  in
+  try loop inst (fire_naive inst) with Stopped i -> i
+
+let fixpoint p inst = fixpoint_gen p inst
 
 let eval (q : Datalog.query) inst =
   let fp = fixpoint q.program inst in
   Instance.tuples fp q.goal
 
-let holds q inst tup =
+(* goal checks stop the fixpoint as soon as the wanted fact is derived *)
+let holds (q : Datalog.query) inst tup =
+  let want (f : Fact.t) =
+    String.equal f.rel q.goal
+    && Array.length f.args = Array.length tup
+    && Array.for_all2 Const.equal f.args tup
+  in
+  let fp = fixpoint_gen ~stop:want q.program inst in
   List.exists
     (fun t -> Array.length t = Array.length tup
               && Array.for_all2 Const.equal t tup)
-    (eval q inst)
+    (Instance.tuples fp q.goal)
 
-let holds_boolean q inst = eval q inst <> []
+let holds_boolean (q : Datalog.query) inst =
+  let stop (f : Fact.t) = String.equal f.rel q.goal in
+  Instance.cardinal (fixpoint_gen ~stop q.program inst) q.goal > 0
 
 let contained_cq_in (cq : Cq.t) q =
   let db = Cq.canonical_db cq in
@@ -117,3 +395,62 @@ let contained_cq_in (cq : Cq.t) q =
 let equivalent_on q1 q2 insts =
   let norm ts = List.sort compare (List.map Array.to_list ts) in
   List.for_all (fun i -> norm (eval q1 i) = norm (eval q2 i)) insts
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementation: the seed's scan-based, left-to-right,
+   naive-iteration evaluator.  Kept verbatim (modulo the scan helper) as
+   the oracle for differential tests of the indexed engine above. *)
+
+let scan_tuples_with inst rel cs =
+  let ok tup =
+    List.for_all
+      (fun (p, c) -> p < Array.length tup && Const.equal tup.(p) c)
+      cs
+  in
+  List.filter ok (Instance.tuples inst rel)
+
+let match_atom_scan inst (a : Cq.atom) env yield =
+  let candidates = scan_tuples_with inst a.rel (bound_positions a env) in
+  let rec go = function
+    | [] -> true
+    | tup :: rest ->
+        if Array.length tup <> List.length a.args then go rest
+        else (
+          match extend_env a tup env with
+          | Some env' -> if yield env' then go rest else false
+          | None -> go rest)
+  in
+  ignore (go candidates)
+
+let rec match_all_scan inst atoms env yield =
+  match atoms with
+  | [] -> yield env
+  | a :: rest ->
+      let continue_ = ref true in
+      match_atom_scan inst a env (fun env' ->
+          let c = match_all_scan inst rest env' yield in
+          continue_ := c;
+          c);
+      !continue_
+
+let fixpoint_naive p inst =
+  let fire full =
+    let fresh = ref Instance.empty in
+    List.iter
+      (fun (r : Datalog.rule) ->
+        ignore
+          (match_all_scan full r.body Smap.empty (fun env ->
+               let f = head_fact r env in
+               if not (Instance.mem f full) then fresh := Instance.add f !fresh;
+               true)))
+      p;
+    !fresh
+  in
+  let rec loop full =
+    let fresh = Instance.diff (fire full) full in
+    if Instance.is_empty fresh then full else loop (Instance.union full fresh)
+  in
+  loop inst
+
+let eval_naive (q : Datalog.query) inst =
+  Instance.tuples (fixpoint_naive q.program inst) q.goal

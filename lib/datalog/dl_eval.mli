@@ -15,7 +15,12 @@ val match_body :
   unit
 (** [match_body ?delta inst atoms env yield] enumerates extensions of [env]
     matching all atoms into [inst]; when [delta] is given, at least one atom
-    must match a fact of [delta].  [yield] returns false to stop early. *)
+    must match a fact of [delta], atoms to its left match only
+    [inst \ delta] (so no derivation is enumerated twice), and atoms to its
+    right match [inst].  Atoms are joined most-constrained-first: the next
+    atom matched is always the one with the fewest index candidates under
+    the bindings accumulated so far.  [yield] returns false to stop
+    early. *)
 
 val fixpoint : Datalog.program -> Instance.t -> Instance.t
 (** Least fixpoint; returns the input instance extended with IDB facts. *)
@@ -32,3 +37,11 @@ val contained_cq_in : Cq.t -> Datalog.query -> bool
 
 val equivalent_on : Datalog.query -> Datalog.query -> Instance.t list -> bool
 (** Differential check: the two queries agree on all given instances. *)
+
+val fixpoint_naive : Datalog.program -> Instance.t -> Instance.t
+(** Reference implementation: scan-based matching in textual atom order
+    and naive (non-incremental) iteration — the seed's evaluator, kept as
+    the oracle for differential tests of the indexed engine. *)
+
+val eval_naive : Datalog.query -> Instance.t -> Const.t array list
+(** Goal tuples via {!fixpoint_naive}. *)

@@ -15,64 +15,76 @@ let is_hom h src dst =
     src;
   !ok
 
-(* Order the facts of [src] so that each fact (after the first) shares an
-   element with an earlier fact whenever possible: this keeps the frontier
-   of the backtracking search connected and prunes early. *)
-let order_facts src =
-  let fs = Instance.facts src in
-  let rec go seen pending acc =
-    match pending with
-    | [] -> List.rev acc
-    | _ ->
-        let connected, rest =
-          List.partition
-            (fun f -> not (Const.Set.is_empty (Const.Set.inter (Fact.consts f) seen)))
-            pending
-        in
-        (match (connected, rest) with
-        | f :: more, _ ->
-            go (Const.Set.union seen (Fact.consts f)) (more @ rest) (f :: acc)
-        | [], f :: more ->
-            go (Const.Set.union seen (Fact.consts f)) more (f :: acc)
-        | [], [] -> List.rev acc)
-  in
-  go Const.Set.empty fs []
+(* Bound positions of [f]'s arguments under the partial map [h]. *)
+let bound_positions (f : Fact.t) h =
+  let bound = ref [] in
+  Array.iteri
+    (fun i c ->
+      match Const.Map.find_opt c h with
+      | Some c' -> bound := (i, c') :: !bound
+      | None -> ())
+    f.args;
+  !bound
 
 (* Enumerate homomorphisms extending [init]; call [yield] on each complete
-   one.  [yield] returns [true] to continue enumeration, [false] to stop. *)
+   one.  [yield] returns [true] to continue enumeration, [false] to stop.
+
+   The search picks the next source fact dynamically: at every node the
+   remaining fact with the fewest index candidates in [dst] (given the
+   bindings accumulated so far) is matched first.  This subsumes the old
+   static connected ordering — a fact sharing elements with the frontier
+   has bound positions and hence small buckets — and also exploits
+   relation cardinalities and constants fixed by [init]. *)
 let enumerate ?(init = Const.Map.empty) src dst yield =
-  let ordered = order_facts src in
-  (* elements of src not covered by any fact still need images?  adom of an
-     instance only contains elements in facts, so the fact ordering covers
-     everything. *)
-  let rec solve h = function
-    | [] -> yield h
-    | f :: rest ->
-        let bound = ref [] in
-        Array.iteri
-          (fun i c ->
-            match Const.Map.find_opt c h with
-            | Some c' -> bound := (i, c') :: !bound
-            | None -> ())
-          f.Fact.args;
-        let candidates = Instance.tuples_with dst f.Fact.rel !bound in
-        let rec try_tuples = function
-          | [] -> true
-          | tup :: tups ->
-              let h' = ref h and ok = ref true in
-              Array.iteri
-                (fun i c ->
-                  if !ok then
-                    match Const.Map.find_opt c !h' with
-                    | Some c' -> if not (Const.equal c' tup.(i)) then ok := false
-                    | None -> h' := Const.Map.add c tup.(i) !h')
-                f.Fact.args;
-              if !ok then if solve !h' rest then try_tuples tups else false
-              else try_tuples tups
-        in
-        try_tuples candidates
+  let facts = Array.of_list (Instance.facts src) in
+  let n = Array.length facts in
+  let swap i j =
+    let t = facts.(i) in
+    facts.(i) <- facts.(j);
+    facts.(j) <- t
   in
-  ignore (solve init ordered)
+  let rec solve h k =
+    if k = n then yield h
+    else begin
+      (* most-constrained-first: fewest candidate tuples next *)
+      let best = ref k
+      and best_bound = ref (bound_positions facts.(k) h)
+      and best_cost = ref max_int in
+      best_cost := Instance.estimate_with dst facts.(k).Fact.rel !best_bound;
+      for j = k + 1 to n - 1 do
+        if !best_cost > 0 then begin
+          let b = bound_positions facts.(j) h in
+          let c = Instance.estimate_with dst facts.(j).Fact.rel b in
+          if c < !best_cost then begin
+            best := j;
+            best_bound := b;
+            best_cost := c
+          end
+        end
+      done;
+      swap k !best;
+      let f = facts.(k) in
+      let candidates = Instance.tuples_with dst f.Fact.rel !best_bound in
+      let rec try_tuples = function
+        | [] -> true
+        | tup :: tups ->
+            let h' = ref h and ok = ref true in
+            Array.iteri
+              (fun i c ->
+                if !ok then
+                  match Const.Map.find_opt c !h' with
+                  | Some c' -> if not (Const.equal c' tup.(i)) then ok := false
+                  | None -> h' := Const.Map.add c tup.(i) !h')
+              f.Fact.args;
+            if !ok then if solve !h' (k + 1) then try_tuples tups else false
+            else try_tuples tups
+      in
+      let continue_ = try_tuples candidates in
+      swap k !best;
+      continue_
+    end
+  in
+  ignore (solve init 0)
 
 let find ?init src dst =
   let result = ref None in

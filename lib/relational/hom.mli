@@ -2,8 +2,9 @@
 
     A homomorphism from [I] to [I'] is a map [h] on [adom I] such that
     [R(c1..cn) ∈ I] implies [R(h c1..h cn) ∈ I'].  Search is by
-    backtracking over the facts of the source, ordered to keep the partial
-    image connected. *)
+    backtracking over the facts of the source, dynamically ordered
+    most-constrained-first: at every node the remaining fact with the
+    fewest index candidates in the target is matched next. *)
 
 type map = Const.t Const.Map.t
 

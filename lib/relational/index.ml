@@ -1,0 +1,39 @@
+type bucket = { mutable n : int; mutable tups : Const.t array list }
+
+type t = {
+  size : int;
+  all : Const.t array list;
+  tables : (Const.t, bucket) Hashtbl.t array; (* one table per position *)
+}
+
+let build tuples =
+  let arity = List.fold_left (fun m t -> max m (Array.length t)) 0 tuples in
+  let tables = Array.init arity (fun _ -> Hashtbl.create 16) in
+  let size =
+    List.fold_left
+      (fun k tup ->
+        Array.iteri
+          (fun p c ->
+            let tbl = tables.(p) in
+            match Hashtbl.find_opt tbl c with
+            | Some b ->
+                b.n <- b.n + 1;
+                b.tups <- tup :: b.tups
+            | None -> Hashtbl.add tbl c { n = 1; tups = [ tup ] })
+          tup;
+        k + 1)
+      0 tuples
+  in
+  { size; all = tuples; tables }
+
+let size idx = idx.size
+let all idx = idx.all
+
+let count idx p c =
+  if p < 0 || p >= Array.length idx.tables then 0
+  else match Hashtbl.find_opt idx.tables.(p) c with None -> 0 | Some b -> b.n
+
+let lookup idx p c =
+  if p < 0 || p >= Array.length idx.tables then []
+  else
+    match Hashtbl.find_opt idx.tables.(p) c with None -> [] | Some b -> b.tups

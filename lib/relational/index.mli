@@ -1,0 +1,27 @@
+(** Secondary hash indexes over one relation's tuples.
+
+    An index maps [(position, constant)] to the tuples holding that constant
+    at that position, with O(1) bucket counts so join planners can pick the
+    most selective bound position before materializing anything.  Indexes
+    are derived data: they are built once from an immutable tuple list and
+    cached by {!Instance} alongside the tuple set they describe. *)
+
+type t
+
+val build : Const.t array list -> t
+(** Build position indexes for the given tuples.  Positions up to the
+    maximum arity present are indexed; tuples shorter than a position are
+    simply absent from that position's table. *)
+
+val size : t -> int
+(** Number of tuples indexed. *)
+
+val all : t -> Const.t array list
+(** The indexed tuples, as given to {!build}. *)
+
+val count : t -> int -> Const.t -> int
+(** [count idx p c] is the number of tuples holding [c] at position [p],
+    in O(1). *)
+
+val lookup : t -> int -> Const.t -> Const.t array list
+(** [lookup idx p c] is the tuples holding [c] at position [p]. *)

@@ -18,20 +18,44 @@ end
 module TS = Set.Make (Tuple)
 module M = Map.Make (String)
 
-type t = TS.t M.t
+(* Each relation carries its tuple set plus a lazily-built secondary index.
+   The index is derived data over the immutable [ts], so the mutable cache
+   is sound: any operation producing a different tuple set allocates a new
+   [rel] with an empty cache, while unchanged relations keep sharing theirs.
+
+   Invariant: every [rel] stored in the map has a non-empty tuple set, so
+   [M.is_empty] ⇔ no facts and [M.bindings] lists exactly the non-empty
+   relations. *)
+type rel = { ts : TS.t; mutable idx : Index.t option }
+
+type t = rel M.t
+
+let mk ts = { ts; idx = None }
+
+let index_of r =
+  match r.idx with
+  | Some i -> i
+  | None ->
+      let i = Index.build (TS.elements r.ts) in
+      r.idx <- Some i;
+      i
 
 let empty = M.empty
 
 let add (f : Fact.t) t =
-  let ts = Option.value ~default:TS.empty (M.find_opt f.rel t) in
-  M.add f.rel (TS.add f.args ts) t
+  match M.find_opt f.rel t with
+  | None -> M.add f.rel (mk (TS.singleton f.args)) t
+  | Some r ->
+      if TS.mem f.args r.ts then t else M.add f.rel (mk (TS.add f.args r.ts)) t
 
 let remove (f : Fact.t) t =
   match M.find_opt f.rel t with
   | None -> t
-  | Some ts ->
-      let ts = TS.remove f.args ts in
-      if TS.is_empty ts then M.remove f.rel t else M.add f.rel ts t
+  | Some r ->
+      if not (TS.mem f.args r.ts) then t
+      else
+        let ts = TS.remove f.args r.ts in
+        if TS.is_empty ts then M.remove f.rel t else M.add f.rel (mk ts) t
 
 let of_list fs = List.fold_left (fun t f -> add f t) empty fs
 let of_facts fs = Fact.Set.fold add fs empty
@@ -39,7 +63,8 @@ let singleton f = add f empty
 
 let fold g t acc =
   M.fold
-    (fun rel ts acc -> TS.fold (fun args acc -> g { Fact.rel; args } acc) ts acc)
+    (fun rel r acc ->
+      TS.fold (fun args acc -> g { Fact.rel; args } acc) r.ts acc)
     t acc
 
 let iter g t = fold (fun f () -> g f) t ()
@@ -47,13 +72,18 @@ let facts t = List.rev (fold (fun f acc -> f :: acc) t [])
 let fact_set t = fold Fact.Set.add t Fact.Set.empty
 
 let mem (f : Fact.t) t =
-  match M.find_opt f.rel t with None -> false | Some ts -> TS.mem f.args ts
+  match M.find_opt f.rel t with None -> false | Some r -> TS.mem f.args r.ts
 
-let size t = M.fold (fun _ ts n -> n + TS.cardinal ts) t 0
-let is_empty t = M.for_all (fun _ ts -> TS.is_empty ts) t
+let size t = M.fold (fun _ r n -> n + TS.cardinal r.ts) t 0
+let is_empty t = M.is_empty t
 
 let union a b =
-  M.union (fun _ x y -> Some (TS.union x y)) a b
+  M.union
+    (fun _ x y ->
+      if TS.subset y.ts x.ts then Some x
+      else if TS.subset x.ts y.ts then Some y
+      else Some (mk (TS.union x.ts y.ts)))
+    a b
 
 let diff a b =
   M.merge
@@ -62,8 +92,10 @@ let diff a b =
       | None, _ -> None
       | Some x, None -> Some x
       | Some x, Some y ->
-          let d = TS.diff x y in
-          if TS.is_empty d then None else Some d)
+          let d = TS.diff x.ts y.ts in
+          if TS.is_empty d then None
+          else if TS.cardinal d = TS.cardinal x.ts then Some x
+          else Some (mk d))
     a b
 
 let inter a b =
@@ -71,31 +103,69 @@ let inter a b =
     (fun _ x y ->
       match (x, y) with
       | Some x, Some y ->
-          let i = TS.inter x y in
-          if TS.is_empty i then None else Some i
+          let i = TS.inter x.ts y.ts in
+          if TS.is_empty i then None else Some (mk i)
       | _ -> None)
     a b
 
 let subset a b =
   M.for_all
-    (fun rel ts ->
+    (fun rel r ->
       match M.find_opt rel b with
-      | None -> TS.is_empty ts
-      | Some ts' -> TS.subset ts ts')
+      | None -> false
+      | Some r' -> TS.subset r.ts r'.ts)
     a
 
-let compare = M.compare TS.compare
+let compare = M.compare (fun a b -> TS.compare a.ts b.ts)
 let equal a b = compare a b = 0
 
-let relations t =
-  M.bindings t |> List.filter (fun (_, ts) -> not (TS.is_empty ts)) |> List.map fst
+(* the no-empty-relation invariant makes the defensive filter unnecessary *)
+let relations t = M.bindings t |> List.map fst
 
 let tuples t rel =
-  match M.find_opt rel t with None -> [] | Some ts -> TS.elements ts
+  match M.find_opt rel t with None -> [] | Some r -> TS.elements r.ts
 
+let cardinal t rel =
+  match M.find_opt rel t with None -> 0 | Some r -> TS.cardinal r.ts
+
+let index t rel =
+  match M.find_opt rel t with None -> None | Some r -> Some (index_of r)
+
+(* Pick the most selective bound position via the index, scan only its
+   bucket, and filter the remaining bound positions. *)
 let tuples_with t rel cs =
-  let ok tup = List.for_all (fun (p, c) -> Const.equal tup.(p) c) cs in
-  List.filter ok (tuples t rel)
+  match M.find_opt rel t with
+  | None -> []
+  | Some r -> (
+      match cs with
+      | [] -> TS.elements r.ts
+      | [ (p, c) ] -> Index.lookup (index_of r) p c
+      | _ ->
+          let idx = index_of r in
+          let (bp, bc), _ =
+            List.fold_left
+              (fun ((_, bn) as best) (p, c) ->
+                let n = Index.count idx p c in
+                if n < bn then ((p, c), n) else best)
+              ((List.hd cs), max_int)
+              cs
+          in
+          let rest = List.filter (fun (p, c) -> p <> bp || not (Const.equal c bc)) cs in
+          let ok tup =
+            List.for_all
+              (fun (p, c) -> p < Array.length tup && Const.equal tup.(p) c)
+              rest
+          in
+          List.filter ok (Index.lookup idx bp bc))
+
+let estimate_with t rel cs =
+  match M.find_opt rel t with
+  | None -> 0
+  | Some r ->
+      let idx = index_of r in
+      List.fold_left
+        (fun acc (p, c) -> min acc (Index.count idx p c))
+        (Index.size idx) cs
 
 let adom t =
   fold (fun f s -> Const.Set.union (Fact.consts f) s) t Const.Set.empty
@@ -109,8 +179,8 @@ let filter p t =
 
 let schema t =
   M.fold
-    (fun rel ts s ->
-      match TS.choose_opt ts with
+    (fun rel r s ->
+      match TS.choose_opt r.ts with
       | None -> s
       | Some tup -> Schema.add rel (Array.length tup) s)
     t Schema.empty

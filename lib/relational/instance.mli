@@ -33,7 +33,24 @@ val tuples : t -> string -> Const.t array list
 
 val tuples_with : t -> string -> (int * Const.t) list -> Const.t array list
 (** [tuples_with i r cs] returns the tuples of [r] whose position [p] holds
-    constant [c] for every [(p, c)] in [cs]. *)
+    constant [c] for every [(p, c)] in [cs].  Backed by a per-relation
+    secondary index (see {!Index}): the bucket of the most selective bound
+    position is scanned and the remaining constraints filter it. *)
+
+val cardinal : t -> string -> int
+(** Number of tuples of the given relation. *)
+
+val index : t -> string -> Index.t option
+(** The relation's secondary index (built on first request, then cached),
+    or [None] if the relation has no facts.  This is the raw handle behind
+    {!tuples_with} / {!estimate_with}, for callers that drive their own
+    join loop. *)
+
+val estimate_with : t -> string -> (int * Const.t) list -> int
+(** Upper bound on [List.length (tuples_with i r cs)], in O(|cs|) index
+    lookups: the smallest bucket count among the bound positions, or the
+    relation's cardinality when [cs] is empty.  Join planners use this to
+    order atoms most-constrained-first. *)
 
 val adom : t -> Const.Set.t
 (** Active domain. *)

@@ -1,5 +1,18 @@
 let tile_rel t = "T_" ^ t
 
+(* The reduction's queries, views, and test instances are pure functions of
+   the tiling problem (and grid size), and the harnesses request the same
+   handful over and over: cache them.  Cached instances also keep their
+   secondary indexes warm across requests. *)
+let memoize (tbl : ('a, 'b) Hashtbl.t) k f =
+  match Hashtbl.find_opt tbl k with
+  | Some v -> v
+  | None ->
+      let v = f () in
+      if Hashtbl.length tbl >= 128 then Hashtbl.reset tbl;
+      Hashtbl.add tbl k v;
+      v
+
 let v = Cq.(fun s -> Var s)
 
 let schema_sigma (tp : Tiling.t) =
@@ -32,7 +45,10 @@ let va_cq =
       Cq.atom "YSucc" [ v "y1"; v "y2" ];
     ]
 
+let query_tbl : (Tiling.t, Datalog.query) Hashtbl.t = Hashtbl.create 8
+
 let query (tp : Tiling.t) =
+  memoize query_tbl tp @@ fun () ->
   (* Qstart takes one marked step on each axis before recursing: without
      this, approximations with an empty axis have S = C×D = ∅ and the
      other axis's marks become invisible through the views, breaking
@@ -105,7 +121,10 @@ let query (tp : Tiling.t) =
   in
   Datalog.query (base @ hc_rules @ vc_rules @ init_rules @ final_rules) "Q"
 
+let views_tbl : (Tiling.t, View.collection) Hashtbl.t = Hashtbl.create 8
+
 let views (tp : Tiling.t) : View.collection =
+  memoize views_tbl tp @@ fun () ->
   let grid_view =
     View.ucq "S"
       (Ucq.make
@@ -173,7 +192,10 @@ let xi i = c (Printf.sprintf "x%d" i)
 let yj j = c (Printf.sprintf "y%d" j)
 let zij i j = c (Printf.sprintf "z%d_%d" i j)
 
+let axes_tbl : (int, Instance.t) Hashtbl.t = Hashtbl.create 8
+
 let axes l =
+  memoize axes_tbl l @@ fun () ->
   let facts = ref [] in
   let add f = facts := f :: !facts in
   add (Fact.make "XSucc" [ c "o"; xi 1 ]);
@@ -190,7 +212,16 @@ let axes l =
   add (Fact.make "YEnd" [ yj l ]);
   Instance.of_list !facts
 
-let grid_test (_tp : Tiling.t) ~tau n m =
+let grid_test_tbl : (Tiling.t * string list * int * int, Instance.t) Hashtbl.t =
+  Hashtbl.create 8
+
+let grid_test (tp : Tiling.t) ~tau n m =
+  (* materialize the tile assignment so the memo key captures it *)
+  let taus =
+    List.concat (List.init n (fun i -> List.init m (fun j -> tau (i + 1) (j + 1))))
+  in
+  memoize grid_test_tbl (tp, taus, n, m) @@ fun () ->
+  let tau i j = List.nth taus (((i - 1) * m) + j - 1) in
   let facts = ref [] in
   let add f = facts := f :: !facts in
   add (Fact.make "XSucc" [ c "o"; xi 1 ]);

@@ -354,3 +354,125 @@ let suite =
       Alcotest.test_case "binarize wide rule" `Quick test_binarize;
       Alcotest.test_case "binarize noop" `Quick test_binarize_noop;
     ]
+
+(* ---------------------------------------------------------------- *)
+(* Differential tests: the indexed semi-naive engine against the
+   scan-based naive reference, and against Hom-based CQ evaluation on
+   the nonrecursive fragment, on random program/instance pairs. *)
+
+(* fixed global arities so every generated program validates *)
+let dg_rels = [ ("E", 2); ("U", 1); ("P", 1); ("T", 2) ]
+let dg_idbs = [ ("P", 1); ("T", 2) ]
+
+let dg_var =
+  QCheck.Gen.(map (fun i -> [| "x"; "y"; "z"; "w" |].(i)) (int_bound 3))
+
+let dg_atom rels =
+  QCheck.Gen.(
+    let* rel, arity = oneofl rels in
+    let* vs = list_repeat arity dg_var in
+    return (Cq.atom rel (List.map (fun v -> Cq.Var v) vs)))
+
+let atom_var_list atoms =
+  List.concat_map
+    (fun (a : Cq.atom) ->
+      List.filter_map (function Cq.Var v -> Some v | Cq.Cst _ -> None) a.args)
+    atoms
+
+let dg_rule =
+  QCheck.Gen.(
+    let* body = list_size (int_range 1 3) (dg_atom dg_rels) in
+    let bvars = atom_var_list body in
+    let* hrel, harity = oneofl dg_idbs in
+    let* hvs = list_repeat harity (oneofl bvars) in
+    return (Datalog.rule (Cq.atom hrel (List.map (fun v -> Cq.Var v) hvs)) body))
+
+let dg_program = QCheck.Gen.(list_size (int_range 1 5) dg_rule)
+
+let dg_const =
+  QCheck.Gen.(map (fun i -> c ("e" ^ string_of_int i)) (int_bound 3))
+
+let dg_fact =
+  QCheck.Gen.(
+    let* rel, arity = oneofl dg_rels in
+    let* args = list_repeat arity dg_const in
+    return (Fact.make rel args))
+
+let dg_instance =
+  QCheck.Gen.(map Instance.of_list (list_size (int_bound 10) dg_fact))
+
+let dg_pair_arb =
+  QCheck.make
+    ~print:(fun (p, i) ->
+      Fmt.str "%a@.on %a" Datalog.pp_program p Instance.pp i)
+    QCheck.Gen.(pair dg_program dg_instance)
+
+let prop_fixpoint_differential =
+  QCheck.Test.make ~name:"indexed semi-naive = scan-based naive" ~count:120
+    dg_pair_arb (fun (p, i) ->
+      Instance.equal (Dl_eval.fixpoint p i) (Dl_eval.fixpoint_naive p i))
+
+let prop_holds_differential =
+  (* holds_boolean takes the early-stop path; it must agree with the full
+     naive fixpoint *)
+  QCheck.Test.make ~name:"early-stop holds = naive fixpoint" ~count:120
+    dg_pair_arb (fun (p, i) ->
+      List.for_all
+        (fun (goal, _) ->
+          let q = Datalog.make p goal in
+          Dl_eval.holds_boolean q i
+          = (Instance.tuples (Dl_eval.fixpoint_naive p i) goal <> []))
+        dg_idbs)
+
+let dg_cq =
+  QCheck.Gen.(
+    let* body = list_size (int_range 1 3) (dg_atom [ ("E", 2); ("U", 1) ]) in
+    let bvars = List.sort_uniq String.compare (atom_var_list body) in
+    let* n_head = int_bound (List.length bvars) in
+    return (Cq.make ~head:(List.filteri (fun i _ -> i < n_head) bvars) body))
+
+let dg_cq_pair_arb =
+  QCheck.make
+    ~print:(fun (q, i) -> Fmt.str "%a@.on %a" Cq.pp q Instance.pp i)
+    QCheck.Gen.(pair dg_cq dg_instance)
+
+let prop_cq_differential =
+  QCheck.Test.make ~name:"datalog engine = hom-based CQ evaluation" ~count:120
+    dg_cq_pair_arb (fun (cq, i) ->
+      let q = Datalog.of_cq ~goal:"DGGoal" cq in
+      let norm ts = List.sort compare (List.map Array.to_list ts) in
+      norm (Dl_eval.eval q i) = norm (Cq.eval cq i))
+
+let test_arity_validation () =
+  Alcotest.check_raises "rule-local clash"
+    (Invalid_argument "Datalog: relation E used with arities 2 and 1")
+    (fun () ->
+      ignore
+        (Datalog.rule
+           (Cq.atom "P" [ Cq.Var "x" ])
+           [ Cq.atom "E" [ Cq.Var "x"; Cq.Var "y" ]; Cq.atom "E" [ Cq.Var "x" ] ]));
+  let r1 =
+    Datalog.rule (Cq.atom "P" [ Cq.Var "x" ]) [ Cq.atom "E" [ Cq.Var "x"; Cq.Var "y" ] ]
+  in
+  let r2 = Datalog.rule (Cq.atom "P" [ Cq.Var "x" ]) [ Cq.atom "E" [ Cq.Var "x" ] ] in
+  Alcotest.check_raises "cross-rule clash"
+    (Invalid_argument "Datalog: relation E used with arities 2 and 1")
+    (fun () -> ignore (Datalog.make [ r1; r2 ] "P"));
+  (* a fact whose arity disagrees with the program is a loud error *)
+  let q = Parse.query ~goal:"P" "P(x) <- E(x,y)." in
+  let bad = Instance.of_list [ Fact.make "E" [ c "a" ] ] in
+  check_bool "mismatch raises" true
+    (try
+       ignore (Dl_eval.eval q bad);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "arity validation" `Quick test_arity_validation ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_fixpoint_differential;
+        prop_holds_differential;
+        prop_cq_differential;
+      ]

@@ -207,3 +207,66 @@ let suite =
     Alcotest.test_case "gaifman ternary" `Quick test_gaifman_ternary;
   ]
   @ qcheck
+
+(* ---------------------------------------------------------------- *)
+(* Index-backed access paths, checked against scan oracles           *)
+
+let scan_tuples_with i rel cs =
+  List.filter
+    (fun tup ->
+      List.for_all
+        (fun (p, cc) -> p < Array.length tup && Const.equal tup.(p) cc)
+        cs)
+    (Instance.tuples i rel)
+
+let constraint_gen =
+  QCheck.Gen.(
+    list_size (int_bound 3) (pair (int_bound 2) const_gen))
+
+let tw_arb =
+  QCheck.make
+    ~print:(fun (i, cs) ->
+      Fmt.str "%a with %a" Instance.pp i
+        Fmt.(list ~sep:comma (pair int Const.pp))
+        cs)
+    QCheck.Gen.(pair instance_gen constraint_gen)
+
+let prop_tuples_with_oracle =
+  QCheck.Test.make ~name:"tuples_with = scan filter" ~count:120 tw_arb
+    (fun (i, cs) ->
+      let norm ts = List.sort compare (List.map Array.to_list ts) in
+      List.for_all
+        (fun rel ->
+          norm (Instance.tuples_with i rel cs) = norm (scan_tuples_with i rel cs))
+        ("missing" :: Instance.relations i))
+
+let prop_estimate_upper_bound =
+  QCheck.Test.make ~name:"estimate_with bounds tuples_with" ~count:120 tw_arb
+    (fun (i, cs) ->
+      List.for_all
+        (fun rel ->
+          List.length (Instance.tuples_with i rel cs)
+          <= Instance.estimate_with i rel cs)
+        (Instance.relations i))
+
+let prop_no_empty_relations =
+  (* the no-empty-relation invariant behind O(1) [is_empty]: set operations
+     never leave a relation with zero tuples in the map *)
+  QCheck.Test.make ~name:"relations lists only non-empty ones" ~count:120
+    (QCheck.pair instance_arb instance_arb)
+    (fun (a, b) ->
+      let ok i =
+        List.for_all (fun r -> Instance.cardinal i r > 0) (Instance.relations i)
+        && Instance.is_empty i = (Instance.size i = 0)
+      in
+      let removed =
+        Instance.fold (fun fct acc -> Instance.remove fct acc) b (Instance.union a b)
+      in
+      ok (Instance.union a b) && ok (Instance.diff a b) && ok (Instance.inter a b)
+      && ok removed
+      && Instance.is_empty (Instance.diff a a))
+
+let suite =
+  suite
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_tuples_with_oracle; prop_estimate_upper_bound; prop_no_empty_relations ]
