@@ -178,6 +178,77 @@ let scale_tests =
     @ [ join; hom; tc ])
 
 (* ------------------------------------------------------------------ *)
+(* Engine ablation probes: the same workload under the indexed and the
+   magic-sets strategy, so the trajectory records what goal-directed
+   evaluation buys (or costs) on each paper pipeline.                  *)
+
+let engine_tests =
+  let strategies =
+    [ ("indexed", Dl_engine.Indexed); ("magic", Dl_engine.Magic) ]
+  in
+  let per_strategy name mk =
+    List.map
+      (fun (sname, s) ->
+        Test.make ~name:(name ^ "-" ^ sname) (Staged.stage (mk s)))
+      strategies
+  in
+  let e6 =
+    (* the Theorem 6 canonical-test search: every test is a Boolean
+       holds_boolean, the magic engine's best case *)
+    let tp = Tiling.simple_unsolvable in
+    let q = Reduction.query tp and views = Reduction.views tp in
+    per_strategy "e6-decide" (fun s () ->
+        ignore (Md_tests.decide_bounded ~max_depth:3 ~engine:s q views))
+  in
+  let grid =
+    let tp = Tiling.simple_solvable in
+    let q = Reduction.query tp in
+    let t = Reduction.grid_test tp ~tau:(fun _ _ -> "w") 3 3 in
+    per_strategy "grid3x3" (fun s () ->
+        ignore (Dl_engine.holds_boolean ~strategy:s q t))
+  in
+  let diamond =
+    let i = Diamonds.chain 5 in
+    per_strategy "diamond5" (fun s () ->
+        ignore (Dl_engine.holds_boolean ~strategy:s Diamonds.query i))
+  in
+  let tc_point =
+    (* point query on a 256-node graph: demand from the bound goal tuple
+       keeps the magic fixpoint to a suffix of the chain, where the
+       undirected engines compute the full closure *)
+    let g = chain_graph 256 in
+    let q = Parse.query ~goal:"T" "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y)." in
+    per_strategy "tc256-point" (fun s () ->
+        ignore (Dl_engine.holds ~strategy:s q g [| node 250; node 255 |]))
+  in
+  let thm9 =
+    (* the Theorem 9 query on a full run encoding: separator work is
+       query evaluation over the run string *)
+    let m = Tm.binary_counter_parity in
+    let q = Th9.query m in
+    let i = Encode.encode_run m "000" in
+    per_strategy "thm9-separator" (fun s () ->
+        ignore (Dl_engine.holds_boolean ~strategy:s q i))
+  in
+  let chase_replay =
+    (* Any + All on the same image: the second traversal must hit the
+       memoized chase prefix in Md_separator *)
+    Test.make ~name:"chase-replay"
+      (Staged.stage
+         (let views = Diamonds.views in
+          let j = View.image views (Diamonds.chain 2) in
+          fun () ->
+            ignore
+              (Md_separator.chase_separator ~mode:Md_separator.Any
+                 ~max_chases:32 Diamonds.query views j);
+            ignore
+              (Md_separator.chase_separator ~mode:Md_separator.All
+                 ~max_chases:32 Diamonds.query views j)))
+  in
+  Test.make_grouped ~name:"engine"
+    (e6 @ grid @ diamond @ tc_point @ thm9 @ [ chase_replay ])
+
+(* ------------------------------------------------------------------ *)
 (* Running and reporting.                                              *)
 
 let run tests =
@@ -227,7 +298,7 @@ let json_escape s =
 
 let json ?(path = "BENCH_eval.json") () =
   Format.printf "@.### Bechamel benchmarks -> %s ###@." path;
-  let rows = run micro_tests @ run scale_tests in
+  let rows = run micro_tests @ run scale_tests @ run engine_tests in
   print_rows rows;
   let oc = open_out path in
   output_string oc "{\n";

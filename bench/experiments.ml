@@ -270,3 +270,50 @@ let e13 () =
     ];
   pf "  (binarization bounds transition arity — without it the Goal rule@.";
   pf "   for an n-path has n(n+1)/2 children and the product explodes)@."
+
+(* E14 — ablation: magic-sets demand transformation on/off *)
+let e14 () =
+  pf "@.### E14 — ablation: magic-sets on the Thm 6 and Thm 9 pipelines ###@.";
+  let strategies = [ ("indexed", Dl_engine.Indexed); ("magic", Dl_engine.Magic) ] in
+  (* Theorem 6 pipeline: bounded canonical-test search — every test is one
+     Boolean evaluation of the reduction query on a chased instance *)
+  let tp = Tiling.simple_unsolvable in
+  let q6 = Reduction.query tp and v6 = Reduction.views tp in
+  pf "  %-26s %-10s %-12s %s@." "pipeline" "engine" "verdict" "time";
+  let verdicts6 =
+    List.map
+      (fun (name, s) ->
+        let r, t =
+          time (fun () -> Md_tests.decide_bounded ~max_depth:3 ~engine:s q6 v6)
+        in
+        pf "  %-26s %-10s %-12s %.3fs@." "thm6 canonical tests" name
+          (match r with
+          | Md_tests.Not_determined _ -> "not-det"
+          | Md_tests.No_failure_up_to n -> Printf.sprintf "ok@%d" n)
+          t;
+        r)
+      strategies
+  in
+  (* Theorem 9 pipeline: the run-encoding query — acceptance is a single
+     goal fact at the end of the run string, the demand-driven case *)
+  let m = Tm.binary_counter_parity in
+  let q9 = Th9.query m in
+  let verdicts9 =
+    List.map
+      (fun (name, s) ->
+        let r, t =
+          time (fun () ->
+              List.map
+                (fun w ->
+                  Dl_engine.holds_boolean ~strategy:s q9 (Encode.encode_run m w))
+                [ "0"; "00"; "000" ])
+        in
+        pf "  %-26s %-10s %-12s %.3fs@." "thm9 run-encoding query" name
+          (String.concat ""
+             (List.map (fun b -> if b then "t" else "f") r))
+          t;
+        r)
+      strategies
+  in
+  let agree l = List.for_all (fun x -> x = List.hd l) l in
+  pf "  verdicts agree across engines: %b@." (agree verdicts6 && agree verdicts9)

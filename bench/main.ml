@@ -29,6 +29,7 @@ let report () =
   Experiments.e11 ();
   Experiments.e12 ();
   Experiments.e13 ();
+  Experiments.e14 ();
   Format.printf "@.report complete.@."
 
 let () =
@@ -36,7 +37,9 @@ let () =
   (match mode with
   | "report" -> report ()
   | "micro" -> Bench_json.micro ()
-  | "json" -> Bench_json.json ()
+  | "json" ->
+      let path = if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None in
+      Bench_json.json ?path ()
   | _ ->
       report ();
       Bench_json.micro ());

@@ -49,11 +49,37 @@ let query_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY")
 let data_pos n = Arg.(required & pos n (some file) None & info [] ~docv:"DATA")
 let views_pos n = Arg.(required & pos n (some file) None & info [] ~docv:"VIEWS")
 
+let engine_arg =
+  let engine_conv =
+    Arg.enum (List.map (fun s -> (Dl_engine.to_string s, s)) Dl_engine.all)
+  in
+  Arg.(
+    value
+    & opt engine_conv (Dl_engine.default ())
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Datalog evaluation strategy: $(b,naive) (scan-based naive \
+           iteration), $(b,indexed) (slot-compiled semi-naive) or \
+           $(b,magic) (magic-sets demand transformation over the indexed \
+           engine).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Report evaluation details.")
+
+(* the engine choice is a process-wide setting so that it also reaches the
+   call sites with no [?engine] parameter in scope (view evaluation inside
+   images, rewriting verification, ...) *)
+let set_engine verbose e =
+  Dl_engine.set_default e;
+  if verbose then
+    Format.eprintf "engine: %s@." (Dl_engine.to_string (Dl_engine.default ()))
+
 let eval_cmd =
-  let run qf goal df =
+  let run qf goal df engine verbose =
+    set_engine verbose engine;
     let q = query_of ~goal qf in
     let i = instance_of df in
-    let out = Dl_eval.eval q i in
+    let out = Dl_engine.eval q i in
     if Datalog.goal_arity q = 0 then
       Format.printf "%b@." (out <> [])
     else
@@ -66,13 +92,16 @@ let eval_cmd =
     `Ok ()
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a Datalog query on an instance.")
-    Term.(ret (const run $ query_file $ goal_arg $ data_pos 1))
+    Term.(
+      ret (const run $ query_file $ goal_arg $ data_pos 1 $ engine_arg
+           $ verbose_arg))
 
 let md_cmd =
   let depth =
     Arg.(value & opt int 4 & info [ "depth" ] ~doc:"Approximation depth bound.")
   in
-  let run qf goal vf depth =
+  let run qf goal vf depth engine verbose =
+    set_engine verbose engine;
     let q = query_of ~goal qf in
     let views = views_of_file vf in
     let verdict = Md_decide.decide ~max_depth:depth q views in
@@ -84,7 +113,9 @@ let md_cmd =
        ~doc:
          "Check monotonic determinacy of a Boolean query over views (exact \
           for CQ/UCQ queries, bounded canonical-test search otherwise).")
-    Term.(ret (const run $ query_file $ goal_arg $ views_pos 1 $ depth))
+    Term.(
+      ret (const run $ query_file $ goal_arg $ views_pos 1 $ depth $ engine_arg
+           $ verbose_arg))
 
 let rewrite_cmd =
   let meth =

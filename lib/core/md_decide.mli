@@ -41,9 +41,15 @@ type verdict =
       (** inexact fragment: no failing test among the [n] generated *)
 
 val decide :
-  ?max_depth:int -> ?view_depth:int -> Datalog.query -> View.collection -> verdict
+  ?max_depth:int ->
+  ?view_depth:int ->
+  ?engine:Dl_engine.strategy ->
+  Datalog.query ->
+  View.collection ->
+  verdict
 (** Dispatcher: uses the exact procedure when the query is a CQ/UCQ
     (classified by {!Dl_fragment.classify}); otherwise the bounded test
-    search. *)
+    search, whose per-test evaluation uses [engine] (default: the
+    process-wide {!Dl_engine} strategy). *)
 
 val pp_verdict : verdict Fmt.t

@@ -52,8 +52,8 @@ let forward_backward_atomic (q : Datalog.query) (views : View.collection) =
 let verify_boolean (q : Datalog.query) (r : Datalog.query) views insts =
   List.for_all
     (fun i ->
-      let lhs = Dl_eval.holds_boolean q i in
-      let rhs = Dl_eval.holds_boolean r (View.image views i) in
+      let lhs = Dl_engine.holds_boolean q i in
+      let rhs = Dl_engine.holds_boolean r (View.image views i) in
       lhs = rhs)
     insts
 

@@ -7,11 +7,17 @@
     is monotonically determined; Theorem 9 shows no computable time bound
     covers all Datalog query/view pairs. *)
 
-val of_rewriting : Datalog.query -> Instance.t -> bool
-(** The separator induced by a Boolean Datalog rewriting. *)
+val of_rewriting :
+  ?engine:Dl_engine.strategy -> Datalog.query -> Instance.t -> bool
+(** The separator induced by a Boolean Datalog rewriting.  [engine]
+    overrides the process-wide {!Dl_engine} default (likewise below). *)
 
 val certain_answers_cq_views :
-  Datalog.query -> View.collection -> Instance.t -> bool
+  ?engine:Dl_engine.strategy ->
+  Datalog.query ->
+  View.collection ->
+  Instance.t ->
+  bool
 (** The inverse-rules separator for CQ views (Theorem 10): certain answers
     of the Boolean query over an arbitrary view-schema instance. *)
 
@@ -22,6 +28,7 @@ val chase_separator :
   ?view_depth:int ->
   ?max_choices_per_fact:int ->
   ?max_chases:int ->
+  ?engine:Dl_engine.strategy ->
   Datalog.query ->
   View.collection ->
   Instance.t ->
@@ -35,10 +42,16 @@ val chase_separator :
     the witness chase maps homomorphically into any preimage, and any
     chase's image contains the input.  For recursive Datalog views the
     chase set is bounded by [view_depth] and the result is approximate;
-    for CQ/UCQ views it is exact. *)
+    for CQ/UCQ views it is exact.
+
+    The taken chase prefix is memoized (one slot, keyed on the bounds,
+    the view collection and the image), so checking [Any] and [All] on
+    the same image — or replaying the separator — does not redo the
+    inverse-view chase. *)
 
 val brute_force_certain :
   ?max_preimages:int ->
+  ?engine:Dl_engine.strategy ->
   Datalog.query ->
   View.collection ->
   candidates:Instance.t list ->

@@ -91,16 +91,16 @@ let tests ?(max_depth = 4) ?(view_depth = 3) ?(max_choices_per_fact = 4)
       |> Seq.map (fun chased -> { approx = qi; image; chased }))
     (List.to_seq approxs)
 
-let succeeds q t = Dl_eval.holds_boolean q t.chased
+let succeeds ?engine q t = Dl_engine.holds_boolean ?strategy:engine q t.chased
 
 let decide_bounded ?max_depth ?view_depth ?max_choices_per_fact
-    ?max_tests_per_approx q views =
+    ?max_tests_per_approx ?engine q views =
   let n = ref 0 in
   let failing =
     Seq.find
       (fun t ->
         incr n;
-        not (succeeds q t))
+        not (succeeds ?engine q t))
       (tests ?max_depth ?view_depth ?max_choices_per_fact
          ?max_tests_per_approx q views)
   in

@@ -42,8 +42,9 @@ val tests :
     4 inverse choices per view fact, 256 choice combinations per
     approximation. *)
 
-val succeeds : Datalog.query -> test -> bool
-(** Does [D' ⊨ Q] (the query is Boolean: goal non-emptiness)? *)
+val succeeds : ?engine:Dl_engine.strategy -> Datalog.query -> test -> bool
+(** Does [D' ⊨ Q] (the query is Boolean: goal non-emptiness)?  [engine]
+    overrides the process-wide {!Dl_engine} default for this check. *)
 
 type verdict =
   | Not_determined of test  (** a checked counterexample *)
@@ -54,6 +55,7 @@ val decide_bounded :
   ?view_depth:int ->
   ?max_choices_per_fact:int ->
   ?max_tests_per_approx:int ->
+  ?engine:Dl_engine.strategy ->
   Datalog.query ->
   View.collection ->
   verdict

@@ -1,0 +1,83 @@
+(* One front door for Datalog evaluation.
+
+   Every decision procedure in the system bottoms out in [holds] /
+   [holds_boolean] / [eval]; this facade routes them through one of three
+   strategies:
+
+   - [Naive]: the seed's scan-based, textual-order, naive-iteration
+     evaluator ({!Dl_eval.fixpoint_naive}) — the differential-testing
+     oracle;
+   - [Indexed]: the slot-compiled, index-backed semi-naive engine with
+     early stop ({!Dl_eval});
+   - [Magic]: the magic-sets demand transformation ({!Dl_magic}) composed
+     with the indexed engine, so bottom-up rounds derive only facts the
+     goal demands.  Queries whose goal is extensional (no rules) fall back
+     to [Indexed] — there is nothing to specialize.
+
+   The default strategy is a process-wide setting (the CLI's [--engine]
+   flag, the bench ablations and the tests override it explicitly). *)
+
+type strategy = Naive | Indexed | Magic
+
+let to_string = function
+  | Naive -> "naive"
+  | Indexed -> "indexed"
+  | Magic -> "magic"
+
+let of_string = function
+  | "naive" -> Some Naive
+  | "indexed" -> Some Indexed
+  | "magic" -> Some Magic
+  | _ -> None
+
+let all = [ Naive; Indexed; Magic ]
+
+(* Indexed by default: on the paper's workloads (small instances, Boolean
+   all-free goals) the demand transformation prunes little and its extra
+   magic rules cost more than they save — see the engine/* rows of
+   BENCH_eval.json.  Magic pays off on bound-goal point queries
+   (engine/tc256-point) and is opt-in per call or via the CLI flag. *)
+let default_strategy = ref Indexed
+let default () = !default_strategy
+let set_default s = default_strategy := s
+
+let resolve = function Some s -> s | None -> !default_strategy
+
+let goal_tuples_naive (q : Datalog.query) inst =
+  Instance.tuples (Dl_eval.fixpoint_naive q.Datalog.program inst) q.Datalog.goal
+
+let eval ?strategy (q : Datalog.query) inst =
+  match resolve strategy with
+  | Naive -> goal_tuples_naive q inst
+  | Indexed -> Dl_eval.eval q inst
+  | Magic when not (Dl_magic.applicable q) -> Dl_eval.eval q inst
+  | Magic ->
+      let m = Dl_magic.transform q (Dl_magic.all_free (Datalog.goal_arity q)) in
+      Dl_eval.eval m.Dl_magic.query (Instance.add (Dl_magic.seed_free m) inst)
+
+let tuple_equal a b =
+  Array.length a = Array.length b && Array.for_all2 Const.equal a b
+
+let holds ?strategy (q : Datalog.query) inst tup =
+  match resolve strategy with
+  | Naive -> List.exists (tuple_equal tup) (goal_tuples_naive q inst)
+  | Indexed -> Dl_eval.holds q inst tup
+  | Magic when not (Dl_magic.applicable q) -> Dl_eval.holds q inst tup
+  | Magic ->
+      let m = Dl_magic.transform q (Dl_magic.all_bound (Array.length tup)) in
+      Dl_eval.holds m.Dl_magic.query (Instance.add (Dl_magic.seed m tup) inst) tup
+
+let holds_boolean ?strategy (q : Datalog.query) inst =
+  match resolve strategy with
+  | Naive -> goal_tuples_naive q inst <> []
+  | Indexed -> Dl_eval.holds_boolean q inst
+  | Magic when not (Dl_magic.applicable q) -> Dl_eval.holds_boolean q inst
+  | Magic ->
+      let m = Dl_magic.transform q (Dl_magic.all_free (Datalog.goal_arity q)) in
+      Dl_eval.holds_boolean m.Dl_magic.query
+        (Instance.add (Dl_magic.seed_free m) inst)
+
+let contained_cq_in ?strategy (cq : Cq.t) q =
+  let db = Cq.canonical_db cq in
+  let tup = Array.of_list (Cq.head_consts cq) in
+  holds ?strategy q db tup

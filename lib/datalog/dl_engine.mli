@@ -1,0 +1,42 @@
+(** Strategy-routing facade over the Datalog evaluators.
+
+    Decision procedures ({!Md_tests}, separators, certain-answer
+    evaluation, containment) call evaluation through this module so that
+    one process-wide switch — or a per-call [?strategy] — selects the
+    engine:
+
+    - {!Naive}: scan-based naive iteration ({!Dl_eval.fixpoint_naive}),
+      the differential-testing oracle;
+    - {!Indexed}: the slot-compiled, index-backed semi-naive engine;
+    - {!Magic}: magic-sets demand transformation ({!Dl_magic}) composed
+      with the indexed engine.  Falls back to [Indexed] when the goal is
+      extensional ({!Dl_magic.applicable} is false). *)
+
+type strategy = Naive | Indexed | Magic
+
+val to_string : strategy -> string
+val of_string : string -> strategy option
+
+val all : strategy list
+(** All strategies, for CLI enums and ablation loops. *)
+
+val default : unit -> strategy
+val set_default : strategy -> unit
+(** The process-wide default used when [?strategy] is omitted.  Initially
+    {!Indexed}: on the paper's workloads (small instances, all-free
+    Boolean goals) demand pruning rarely pays for the extra magic rules;
+    {!Magic} wins on bound-goal point queries and is opt-in. *)
+
+val eval : ?strategy:strategy -> Datalog.query -> Instance.t -> Const.t array list
+(** All goal tuples of the query on the instance. *)
+
+val holds : ?strategy:strategy -> Datalog.query -> Instance.t -> Const.t array -> bool
+(** Membership of one goal tuple.  Under [Magic] this binds every goal
+    position in the demand pattern, so only derivations consistent with
+    the tuple are explored. *)
+
+val holds_boolean : ?strategy:strategy -> Datalog.query -> Instance.t -> bool
+(** The Boolean query is true (its goal relation is nonempty). *)
+
+val contained_cq_in : ?strategy:strategy -> Cq.t -> Datalog.query -> bool
+(** CQ ⊆ Datalog containment via the canonical-database check. *)

@@ -26,6 +26,48 @@ let build tuples =
   in
   { size; all = tuples; tables }
 
+(* Extending shares the bucket tuple lists with the old index (lists are
+   immutable; new tuples are consed on top), so only the bucket records and
+   the position tables themselves are copied.  The old index stays valid:
+   nothing reachable from it is mutated. *)
+let extend idx tuples =
+  match tuples with
+  | [] -> idx
+  | _ ->
+      let arity =
+        List.fold_left
+          (fun m t -> max m (Array.length t))
+          (Array.length idx.tables) tuples
+      in
+      let tables =
+        Array.init arity (fun p ->
+            if p < Array.length idx.tables then begin
+              let old = idx.tables.(p) in
+              let tbl = Hashtbl.create (max 16 (Hashtbl.length old)) in
+              Hashtbl.iter
+                (fun c b -> Hashtbl.add tbl c { n = b.n; tups = b.tups })
+                old;
+              tbl
+            end
+            else Hashtbl.create 16)
+      in
+      let size =
+        List.fold_left
+          (fun k tup ->
+            Array.iteri
+              (fun p c ->
+                let tbl = tables.(p) in
+                match Hashtbl.find_opt tbl c with
+                | Some b ->
+                    b.n <- b.n + 1;
+                    b.tups <- tup :: b.tups
+                | None -> Hashtbl.add tbl c { n = 1; tups = [ tup ] })
+              tup;
+            k + 1)
+          idx.size tuples
+      in
+      { size; all = List.rev_append tuples idx.all; tables }
+
 let size idx = idx.size
 let all idx = idx.all
 

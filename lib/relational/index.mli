@@ -13,6 +13,13 @@ val build : Const.t array list -> t
     maximum arity present are indexed; tuples shorter than a position are
     simply absent from that position's table. *)
 
+val extend : t -> Const.t array list -> t
+(** [extend idx tups] is a fresh index over the old tuples plus [tups].
+    [tups] must be disjoint from the indexed tuples (counts would be wrong
+    otherwise).  Bucket tuple lists are shared with [idx], so the cost is
+    O(distinct keys of [idx]) + O(|tups| · arity) — cheaper than a rebuild
+    when [tups] is a small delta — and [idx] itself is left untouched. *)
+
 val size : t -> int
 (** Number of tuples indexed. *)
 

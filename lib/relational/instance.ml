@@ -77,12 +77,27 @@ let mem (f : Fact.t) t =
 let size t = M.fold (fun _ r n -> n + TS.cardinal r.ts) t 0
 let is_empty t = M.is_empty t
 
+(* Incremental union: when one side subsumes the other, its whole [rel]
+   record — index cache included — is shared.  Otherwise the result reuses
+   the larger operand's cached index, extended with the smaller side's
+   novel tuples: the fixpoint and the chase union many small deltas into a
+   big accumulator, and this keeps its buckets warm instead of rebuilding
+   them per round. *)
 let union a b =
   M.union
     (fun _ x y ->
       if TS.subset y.ts x.ts then Some x
       else if TS.subset x.ts y.ts then Some y
-      else Some (mk (TS.union x.ts y.ts)))
+      else
+        let big, small =
+          if TS.cardinal x.ts >= TS.cardinal y.ts then (x, y) else (y, x)
+        in
+        let r = mk (TS.union big.ts small.ts) in
+        (match big.idx with
+        | Some idx ->
+            r.idx <- Some (Index.extend idx (TS.elements (TS.diff small.ts big.ts)))
+        | None -> ());
+        Some r)
     a b
 
 let diff a b =

@@ -18,7 +18,14 @@ val size : t -> int
 (** Number of facts. *)
 
 val is_empty : t -> bool
+
 val union : t -> t -> t
+(** Set union.  Index caches stay warm: a relation unchanged by the union
+    shares its [rel] record (index included) with the operand it came
+    from, and a relation that grows reuses the larger operand's cached
+    index extended with the smaller side's novel tuples
+    (see {!Index.extend}) instead of rebuilding it on next use. *)
+
 val diff : t -> t -> t
 val inter : t -> t -> t
 val subset : t -> t -> bool

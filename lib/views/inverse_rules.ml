@@ -334,4 +334,4 @@ let rewrite ?(guard = true) (q : Datalog.query) (views : View.collection) =
   done;
   Datalog.query (List.rev !out_rules) (idb_apred_name q.Datalog.goal goal_ann)
 
-let certain_answers q views inst = Dl_eval.eval (rewrite q views) inst
+let certain_answers q views inst = Dl_engine.eval (rewrite q views) inst

@@ -51,7 +51,7 @@ let eval v inst =
     match v.def with
     | Cq_def q -> Cq.eval q inst
     | Ucq_def u -> Ucq.eval u inst
-    | Datalog_def q -> Dl_eval.eval q inst
+    | Datalog_def q -> Dl_engine.eval q inst
   in
   List.map (fun t -> { Fact.rel = v.name; args = t }) tuples
 

@@ -4,6 +4,7 @@ let () =
       ("relational", Test_relational.suite);
       ("cq", Test_cq.suite);
       ("datalog", Test_datalog.suite);
+      ("magic", Test_magic.suite);
       ("parse", Test_parse.suite);
       ("views", Test_views.suite);
       ("treewidth", Test_treewidth.suite);

@@ -266,7 +266,35 @@ let prop_no_empty_relations =
       && ok removed
       && Instance.is_empty (Instance.diff a a))
 
+let constraint_arb =
+  QCheck.make
+    ~print:(Fmt.str "%a" Fmt.(list ~sep:comma (pair int Const.pp)))
+    constraint_gen
+
+let prop_warm_union_index =
+  (* unioning extends the larger operand's cached index incrementally;
+     the extended buckets must agree with a scan of the unioned instance *)
+  QCheck.Test.make ~name:"warm incremental union index = scan filter" ~count:120
+    (QCheck.triple instance_arb instance_arb constraint_arb)
+    (fun (a, b, cs) ->
+      (* force a's caches so the union takes the extend path *)
+      List.iter (fun r -> ignore (Instance.tuples_with a r [ (0, c "e0") ]))
+        (Instance.relations a);
+      let u = Instance.union a b in
+      let norm ts = List.sort compare (List.map Array.to_list ts) in
+      List.for_all
+        (fun rel ->
+          norm (Instance.tuples_with u rel cs) = norm (scan_tuples_with u rel cs)
+          && List.length (Instance.tuples_with u rel cs)
+             <= Instance.estimate_with u rel cs)
+        (Instance.relations u))
+
 let suite =
   suite
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_tuples_with_oracle; prop_estimate_upper_bound; prop_no_empty_relations ]
+      [
+        prop_tuples_with_oracle;
+        prop_estimate_upper_bound;
+        prop_no_empty_relations;
+        prop_warm_union_index;
+      ]
