@@ -30,6 +30,7 @@ let report () =
   Experiments.e12 ();
   Experiments.e13 ();
   Experiments.e14 ();
+  Experiments.e15 ();
   Format.printf "@.report complete.@."
 
 let () =

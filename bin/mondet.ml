@@ -59,9 +59,21 @@ let engine_arg =
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
           "Datalog evaluation strategy: $(b,naive) (scan-based naive \
-           iteration), $(b,indexed) (slot-compiled semi-naive) or \
+           iteration), $(b,indexed) (slot-compiled semi-naive), \
            $(b,magic) (magic-sets demand transformation over the indexed \
-           engine).")
+           engine) or $(b,parallel) (semi-naive rounds sharded across \
+           OCaml 5 domains; see $(b,--domains)).")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker count for the $(b,parallel) engine (the coordinating \
+           thread included).  Defaults to $(b,MONDET_DOMAINS) if set, \
+           else the machine's recommended domain count; clamped to \
+           [1, 64].")
 
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Report evaluation details.")
@@ -69,14 +81,17 @@ let verbose_arg =
 (* the engine choice is a process-wide setting so that it also reaches the
    call sites with no [?engine] parameter in scope (view evaluation inside
    images, rewriting verification, ...) *)
-let set_engine verbose e =
+let set_engine verbose e d =
+  (match d with Some n -> Dl_parallel.set_domains n | None -> ());
   Dl_engine.set_default e;
   if verbose then
-    Format.eprintf "engine: %s@." (Dl_engine.to_string (Dl_engine.default ()))
+    Format.eprintf "engine: %s (domains=%d)@."
+      (Dl_engine.to_string (Dl_engine.default ()))
+      (Dl_parallel.domains ())
 
 let eval_cmd =
-  let run qf goal df engine verbose =
-    set_engine verbose engine;
+  let run qf goal df engine domains verbose =
+    set_engine verbose engine domains;
     let q = query_of ~goal qf in
     let i = instance_of df in
     let out = Dl_engine.eval q i in
@@ -94,14 +109,14 @@ let eval_cmd =
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a Datalog query on an instance.")
     Term.(
       ret (const run $ query_file $ goal_arg $ data_pos 1 $ engine_arg
-           $ verbose_arg))
+           $ domains_arg $ verbose_arg))
 
 let md_cmd =
   let depth =
     Arg.(value & opt int 4 & info [ "depth" ] ~doc:"Approximation depth bound.")
   in
-  let run qf goal vf depth engine verbose =
-    set_engine verbose engine;
+  let run qf goal vf depth engine domains verbose =
+    set_engine verbose engine domains;
     let q = query_of ~goal qf in
     let views = views_of_file vf in
     let verdict = Md_decide.decide ~max_depth:depth q views in
@@ -115,7 +130,7 @@ let md_cmd =
           for CQ/UCQ queries, bounded canonical-test search otherwise).")
     Term.(
       ret (const run $ query_file $ goal_arg $ views_pos 1 $ depth $ engine_arg
-           $ verbose_arg))
+           $ domains_arg $ verbose_arg))
 
 let rewrite_cmd =
   let meth =

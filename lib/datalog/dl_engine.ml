@@ -1,7 +1,7 @@
 (* One front door for Datalog evaluation.
 
    Every decision procedure in the system bottoms out in [holds] /
-   [holds_boolean] / [eval]; this facade routes them through one of three
+   [holds_boolean] / [eval]; this facade routes them through one of four
    strategies:
 
    - [Naive]: the seed's scan-based, textual-order, naive-iteration
@@ -13,35 +13,61 @@
      with the indexed engine, so bottom-up rounds derive only facts the
      goal demands.  Queries whose goal is extensional (no rules) fall back
      to [Indexed] — there is nothing to specialize.
+   - [Parallel]: the indexed engine's rounds sharded across a pool of
+     OCaml 5 domains ({!Dl_parallel}).
 
    The default strategy is a process-wide setting (the CLI's [--engine]
-   flag, the bench ablations and the tests override it explicitly). *)
+   flag and the MONDET_ENGINE environment variable set it; the bench
+   ablations and the tests override it per call). *)
 
-type strategy = Naive | Indexed | Magic
+type strategy = Naive | Indexed | Magic | Parallel
 
 let to_string = function
   | Naive -> "naive"
   | Indexed -> "indexed"
   | Magic -> "magic"
+  | Parallel -> "parallel"
 
 let of_string = function
   | "naive" -> Some Naive
   | "indexed" -> Some Indexed
   | "magic" -> Some Magic
+  | "parallel" -> Some Parallel
   | _ -> None
 
-let all = [ Naive; Indexed; Magic ]
+let all = [ Naive; Indexed; Magic; Parallel ]
 
 (* Indexed by default: on the paper's workloads (small instances, Boolean
    all-free goals) the demand transformation prunes little and its extra
-   magic rules cost more than they save — see the engine/* rows of
-   BENCH_eval.json.  Magic pays off on bound-goal point queries
-   (engine/tc256-point) and is opt-in per call or via the CLI flag. *)
-let default_strategy = ref Indexed
-let default () = !default_strategy
-let set_default s = default_strategy := s
+   magic rules cost more than they save, and sharding has nothing to bite
+   on — see the engine/* rows of BENCH_eval.json.
 
-let resolve = function Some s -> s | None -> !default_strategy
+   The default lives in an [Atomic.t]: now that domains exist, a plain
+   [ref] would make concurrent [set_default]/[default] a data race.  The
+   remaining (documented) coarseness is intentional: the default is a
+   process-wide knob, so a [set_default] racing with an evaluation on
+   another domain changes which engine that evaluation uses but never its
+   answer — each top-level facade call reads the default exactly once
+   (see [resolve]), so one call never mixes strategies across rounds. *)
+let default_strategy =
+  Atomic.make
+    (match Sys.getenv_opt "MONDET_ENGINE" with
+    | None -> Indexed
+    | Some s -> (
+        match of_string (String.trim s) with
+        | Some st -> st
+        | None ->
+            Printf.eprintf
+              "mondet: ignoring MONDET_ENGINE=%S (expected \
+               naive|indexed|magic|parallel)\n%!" s;
+            Indexed))
+
+let default () = Atomic.get default_strategy
+let set_default s = Atomic.set default_strategy s
+
+(* A per-call [?strategy] always wins; the process default is read once
+   per top-level call, never again mid-evaluation. *)
+let resolve = function Some s -> s | None -> Atomic.get default_strategy
 
 let goal_tuples_naive (q : Datalog.query) inst =
   Instance.tuples (Dl_eval.fixpoint_naive q.Datalog.program inst) q.Datalog.goal
@@ -50,6 +76,7 @@ let eval ?strategy (q : Datalog.query) inst =
   match resolve strategy with
   | Naive -> goal_tuples_naive q inst
   | Indexed -> Dl_eval.eval q inst
+  | Parallel -> Dl_parallel.eval q inst
   | Magic when not (Dl_magic.applicable q) -> Dl_eval.eval q inst
   | Magic ->
       let m = Dl_magic.transform q (Dl_magic.all_free (Datalog.goal_arity q)) in
@@ -62,6 +89,7 @@ let holds ?strategy (q : Datalog.query) inst tup =
   match resolve strategy with
   | Naive -> List.exists (tuple_equal tup) (goal_tuples_naive q inst)
   | Indexed -> Dl_eval.holds q inst tup
+  | Parallel -> Dl_parallel.holds q inst tup
   | Magic when not (Dl_magic.applicable q) -> Dl_eval.holds q inst tup
   | Magic ->
       let m = Dl_magic.transform q (Dl_magic.all_bound (Array.length tup)) in
@@ -71,6 +99,7 @@ let holds_boolean ?strategy (q : Datalog.query) inst =
   match resolve strategy with
   | Naive -> goal_tuples_naive q inst <> []
   | Indexed -> Dl_eval.holds_boolean q inst
+  | Parallel -> Dl_parallel.holds_boolean q inst
   | Magic when not (Dl_magic.applicable q) -> Dl_eval.holds_boolean q inst
   | Magic ->
       let m = Dl_magic.transform q (Dl_magic.all_free (Datalog.goal_arity q)) in

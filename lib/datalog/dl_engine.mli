@@ -3,16 +3,67 @@
     Decision procedures ({!Md_tests}, separators, certain-answer
     evaluation, containment) call evaluation through this module so that
     one process-wide switch — or a per-call [?strategy] — selects the
-    engine:
+    engine.
 
-    - {!Naive}: scan-based naive iteration ({!Dl_eval.fixpoint_naive}),
-      the differential-testing oracle;
-    - {!Indexed}: the slot-compiled, index-backed semi-naive engine;
-    - {!Magic}: magic-sets demand transformation ({!Dl_magic}) composed
-      with the indexed engine.  Falls back to [Indexed] when the goal is
-      extensional ({!Dl_magic.applicable} is false). *)
+    {2 The strategy contract}
 
-type strategy = Naive | Indexed | Magic
+    All four strategies compute the same answers: for every query [q],
+    instance [i] and tuple [t], [eval], [holds] and [holds_boolean] agree
+    across strategies (this is enforced by the qcheck differential suites
+    in [test/test_datalog.ml], [test/test_magic.ml] and
+    [test/test_parallel.ml], 120 random program/instance pairs each per
+    entry point).  They differ only in how the fixpoint is computed:
+
+    - {!Naive} — the seed's scan-based, textual-order, naive-iteration
+      evaluator ({!Dl_eval.fixpoint_naive}).  Slowest by far; exists as
+      the differential-testing oracle.  Use it when you want the
+      least-clever execution imaginable.
+    - {!Indexed} — slot-compiled semi-naive evaluation over per-relation
+      secondary indexes, with dynamic most-constrained-first atom
+      ordering and early stop on goal checks ({!Dl_eval}).  The default:
+      it wins on the paper's workloads (small instances, all-free
+      Boolean goals) and has no setup cost beyond rule compilation
+      (cached per program).
+    - {!Magic} — the magic-sets demand transformation ({!Dl_magic})
+      composed with the indexed engine.  Wins when the goal binds
+      constants (point queries: ~50× on [engine/tc256-point] in
+      [BENCH_eval.json]) because bottom-up rounds then derive only
+      demanded facts; loses ~2× on all-free Boolean goals, where the
+      extra magic rules prune nothing.  Falls back to [Indexed] when the
+      goal is extensional ({!Dl_magic.applicable} is false).
+    - {!Parallel} — the indexed engine's semi-naive rounds with the
+      (rule × delta-position × delta-chunk) firing set sharded across a
+      persistent pool of OCaml 5 domains ({!Dl_parallel}; pool size from
+      [--domains] / [MONDET_DOMAINS] / [Domain.recommended_domain_count]).
+      Wins on wide rounds — many rules and/or large deltas, e.g. the
+      Theorem 6 grid programs with hundreds of incompatibility rules —
+      once per-round work dwarfs the barrier cost (~10 µs); loses on
+      narrow rounds.  With one effective domain it delegates to
+      [Indexed] outright.
+
+    {2 Determinism}
+
+    [eval] returns the goal tuples of the {e least fixpoint}, which is
+    unique; all strategies (including [Parallel], at every domain count)
+    therefore return the same tuple set — [Parallel] additionally
+    guarantees the same fixpoint {e instance} per round, because delta
+    chunks partition each round's firings and the barrier merge is a set
+    union.  [holds]/[holds_boolean] may stop evaluation early; the facts
+    materialized at that point differ between strategies (and, under
+    [Parallel], between schedules), but the Boolean verdict never does.
+
+    {2 Thread safety}
+
+    The facade itself is meant to be called from one coordinating thread:
+    the process-wide default is an [Atomic.t] (so concurrent
+    [set_default] is a race only on {e which} engine runs, never on its
+    answer, and each top-level call reads the default exactly once — not
+    once per fixpoint round), but the engines' caches (compiled rules,
+    magic transforms, lazily built instance indexes) are unsynchronized.
+    [Parallel]'s worker domains are internal to {!Dl_parallel} and never
+    call back into this module. *)
+
+type strategy = Naive | Indexed | Magic | Parallel
 
 val to_string : strategy -> string
 val of_string : string -> strategy option
@@ -23,9 +74,11 @@ val all : strategy list
 val default : unit -> strategy
 val set_default : strategy -> unit
 (** The process-wide default used when [?strategy] is omitted.  Initially
-    {!Indexed}: on the paper's workloads (small instances, all-free
-    Boolean goals) demand pruning rarely pays for the extra magic rules;
-    {!Magic} wins on bound-goal point queries and is opt-in. *)
+    {!Indexed}, unless the [MONDET_ENGINE] environment variable names
+    another strategy.  A per-call [?strategy] always wins over the
+    default; the default is read once per top-level call, so a concurrent
+    [set_default] can never make one evaluation mix strategies across
+    rounds. *)
 
 val eval : ?strategy:strategy -> Datalog.query -> Instance.t -> Const.t array list
 (** All goal tuples of the query on the instance. *)

@@ -45,3 +45,39 @@ val fixpoint_naive : Datalog.program -> Instance.t -> Instance.t
 
 val eval_naive : Datalog.query -> Instance.t -> Const.t array list
 (** Goal tuples via {!fixpoint_naive}. *)
+
+(** {2 Compiled-rule internals}
+
+    The slot-compiled representation behind {!fixpoint}, exported for
+    {!Dl_parallel}, which drives the same per-rule matcher from several
+    domains.  Everything here is reentrant: {!run_compiled} allocates its
+    binding array and trail per call and only {e reads} the instances it
+    is given (provided their relation indexes are already built — see
+    {!Instance.index}; building one is a benign cache fill but makes the
+    call a writer). *)
+
+type cterm = Cslot of int | Cconst of Const.t
+
+type catom = { crel : string; cterms : cterm array }
+
+type crule = {
+  nvars : int;
+  cbody : catom array;
+  chead : catom;
+  crels : string list;  (** distinct body relations, sorted *)
+}
+
+val compile : Datalog.program -> crule list
+(** Slot-compile a program.  Results are cached under physical equality
+    of the program; the cache is not thread-safe, so compile on the
+    coordinating thread before handing rules to workers. *)
+
+val run_compiled :
+  crule -> Instance.t array -> (Const.t option array -> bool) -> unit
+(** [run_compiled cr sources on_match] enumerates all matches of
+    [cr.cbody] where body atom [i] draws its candidate tuples from
+    [sources.(i)], most-constrained-first.  [on_match] receives the slot
+    bindings and returns [false] to stop the enumeration. *)
+
+val chead_fact : crule -> Const.t option array -> Fact.t
+(** The head fact under a complete binding of the rule's slots. *)

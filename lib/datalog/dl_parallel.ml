@@ -1,0 +1,326 @@
+(* Parallel semi-naive fixpoint: shard each round's (rule × delta-position
+   × delta-chunk) firing set across a persistent pool of domains.
+
+   Safety argument, in one place:
+
+   - the shared round instances ([old], [full], the delta chunks) are
+     persistent maps; the only mutable field reachable from them is the
+     per-relation index cache, which [prewarm] fills on the coordinating
+     thread before dispatch, so workers are pure readers;
+   - each worker derives into a private accumulator instance;
+   - the pool's mutex hand-off publishes everything the coordinator wrote
+     before the round to every worker, and everything the workers wrote
+     back to the coordinator at the barrier;
+   - the early-stop flag is an [Atomic.t].
+
+   Determinism argument: the chunks partition the delta, so the units of a
+   round cover exactly the matches the sequential [Dl_eval.fixpoint_gen]
+   round enumerates, each exactly once across units; the barrier merge is
+   a set union; hence every round's delta — and therefore the fixpoint —
+   is identical for every domain count and schedule. *)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-count configuration: --domains > MONDET_DOMAINS > recommended. *)
+
+let clamp n = max 1 (min n 64)
+
+let env_domains =
+  lazy
+    (match Sys.getenv_opt "MONDET_DOMAINS" with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> Some (clamp n)
+        | None ->
+            Printf.eprintf
+              "mondet: ignoring MONDET_DOMAINS=%S (expected an integer)\n%!" s;
+            None))
+
+let requested : int option ref = ref None
+
+let set_domains n = requested := Some (clamp n)
+
+let domains () =
+  match !requested with
+  | Some n -> n
+  | None -> (
+      match Lazy.force env_domains with
+      | Some n -> n
+      | None -> clamp (Domain.recommended_domain_count ()))
+
+(* ------------------------------------------------------------------ *)
+(* A persistent pool of [size - 1] spawned domains plus the caller.  One
+   batch at a time: [run] publishes a task, bumps the epoch, works as
+   worker 0 itself, then blocks until every spawned worker has finished.
+   Workers park on [start] between batches, so an idle pool costs
+   nothing. *)
+
+type pool = {
+  size : int;
+  mutex : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable epoch : int;
+  mutable task : (int -> unit) option;
+  mutable pending : int;
+  mutable closing : bool;
+  mutable errors : exn list;
+  mutable handles : unit Domain.t list;
+}
+
+let rec worker_loop pool i seen =
+  Mutex.lock pool.mutex;
+  while pool.epoch = seen && not pool.closing do
+    Condition.wait pool.start pool.mutex
+  done;
+  if pool.closing then Mutex.unlock pool.mutex
+  else begin
+    let epoch = pool.epoch in
+    let task = match pool.task with Some t -> t | None -> assert false in
+    Mutex.unlock pool.mutex;
+    let err = try task i; None with exn -> Some exn in
+    Mutex.lock pool.mutex;
+    (match err with Some e -> pool.errors <- e :: pool.errors | None -> ());
+    pool.pending <- pool.pending - 1;
+    if pool.pending = 0 then Condition.signal pool.finished;
+    Mutex.unlock pool.mutex;
+    worker_loop pool i epoch
+  end
+
+let make_pool size =
+  let pool =
+    {
+      size;
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      epoch = 0;
+      task = None;
+      pending = 0;
+      closing = false;
+      errors = [];
+      handles = [];
+    }
+  in
+  pool.handles <-
+    List.init (size - 1) (fun k ->
+        Domain.spawn (fun () -> worker_loop pool (k + 1) 0));
+  pool
+
+let shutdown_pool pool =
+  Mutex.lock pool.mutex;
+  pool.closing <- true;
+  Condition.broadcast pool.start;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.handles;
+  pool.handles <- []
+
+let the_pool : pool option ref = ref None
+let at_exit_registered = ref false
+
+(* Even parked domains cost: every minor collection is a stop-the-world
+   synchronization across all live domains, so a single-threaded phase
+   that runs while the pool idles pays a per-GC tax.  [shutdown] joins
+   the pool so that tax disappears; the next parallel call respawns. *)
+let shutdown () =
+  match !the_pool with
+  | Some p ->
+      the_pool := None;
+      shutdown_pool p
+  | None -> ()
+
+let get_pool size =
+  match !the_pool with
+  | Some p when p.size = size -> p
+  | _ ->
+      shutdown ();
+      let p = make_pool size in
+      the_pool := Some p;
+      if not !at_exit_registered then begin
+        at_exit_registered := true;
+        (* parked domains must be woken and joined before the runtime
+           tears down, or exit can block on them *)
+        at_exit shutdown
+      end;
+      p
+
+(* Run one batch: every worker (the caller included) executes [task] with
+   its worker index; returns once all have finished, re-raising the first
+   exception any of them recorded. *)
+let run pool task =
+  if pool.size = 1 then task 0
+  else begin
+    Mutex.lock pool.mutex;
+    pool.task <- Some task;
+    pool.pending <- pool.size - 1;
+    pool.errors <- [];
+    pool.epoch <- pool.epoch + 1;
+    Condition.broadcast pool.start;
+    Mutex.unlock pool.mutex;
+    let main_err = try task 0; None with exn -> Some exn in
+    Mutex.lock pool.mutex;
+    while pool.pending > 0 do
+      Condition.wait pool.finished pool.mutex
+    done;
+    pool.task <- None;
+    let errors = pool.errors in
+    Mutex.unlock pool.mutex;
+    match main_err with
+    | Some e -> raise e
+    | None -> ( match errors with e :: _ -> raise e | [] -> ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Round machinery. *)
+
+(* Split [delta] round-robin into at most [k] non-empty chunks.  Tiny
+   deltas are not worth the per-chunk planner overhead. *)
+let split_delta k delta =
+  if k <= 1 || Instance.size delta < 2 * k then [| delta |]
+  else begin
+    let parts = Array.make k Instance.empty in
+    let i = ref 0 in
+    Instance.iter
+      (fun f ->
+        let j = !i mod k in
+        parts.(j) <- Instance.add f parts.(j);
+        incr i)
+      delta;
+    Array.of_list
+      (List.filter (fun p -> not (Instance.is_empty p)) (Array.to_list parts))
+  end
+
+(* Build every relation index a worker could touch, on the coordinating
+   thread, so the parallel phase never writes a shared cache. *)
+let prewarm body_rels insts =
+  List.iter
+    (fun inst ->
+      List.iter (fun r -> ignore (Instance.index inst r)) body_rels)
+    insts
+
+(* One firing unit: body position [pos] of [rule] draws candidates from
+   delta chunk [chunk], positions before it from [old], after it from
+   [full].  [pos = -1] fires an empty-body rule (first round only — later
+   rounds cannot re-derive its head). *)
+type unit_ = { rule : Dl_eval.crule; pos : int; chunk : Instance.t }
+
+let round_units ~first ~delta chunks rules =
+  let units = ref [] in
+  List.iter
+    (fun (cr : Dl_eval.crule) ->
+      let nb = Array.length cr.cbody in
+      if nb = 0 then begin
+        if first then
+          units := { rule = cr; pos = -1; chunk = Instance.empty } :: !units
+      end
+      else if List.exists (fun r -> Instance.cardinal delta r > 0) cr.crels
+      then
+        for j = 0 to nb - 1 do
+          (* positions left of [j] match [old]; in the first round [old]
+             is empty, so only [j = 0] can fire *)
+          if (not (first && j > 0))
+             && Instance.cardinal delta cr.cbody.(j).crel > 0
+          then
+            Array.iter
+              (fun chunk ->
+                if Instance.cardinal chunk cr.cbody.(j).crel > 0 then
+                  units := { rule = cr; pos = j; chunk } :: !units)
+              chunks
+        done)
+    rules;
+  Array.of_list !units
+
+let fixpoint_gen ?(stop = fun _ -> false) p inst =
+  let rules = Dl_eval.compile p in
+  let body_rels =
+    List.sort_uniq String.compare
+      (List.concat_map (fun (cr : Dl_eval.crule) -> cr.crels) rules)
+  in
+  let pool = get_pool (domains ()) in
+  let nworkers = pool.size in
+  let accs = Array.make nworkers Instance.empty in
+  let found = Atomic.make false in
+  (* one sharded semi-naive round: fire all units, merge the private
+     accumulators at the barrier into this round's fresh facts *)
+  let fire_round ~old ~full units =
+    Array.fill accs 0 nworkers Instance.empty;
+    let next = Atomic.make 0 in
+    let nunits = Array.length units in
+    run pool (fun w ->
+        let acc = ref Instance.empty in
+        let derive cr env =
+          if Atomic.get found then false
+          else begin
+            let f = Dl_eval.chead_fact cr env in
+            if not (Instance.mem f full) && not (Instance.mem f !acc) then begin
+              acc := Instance.add f !acc;
+              if stop f then Atomic.set found true
+            end;
+            not (Atomic.get found)
+          end
+        in
+        let rec grab () =
+          let u = Atomic.fetch_and_add next 1 in
+          if u < nunits && not (Atomic.get found) then begin
+            let { rule = cr; pos; chunk } = units.(u) in
+            let nb = Array.length cr.cbody in
+            if nb = 0 then ignore (derive cr [||])
+            else begin
+              let sources = Array.make nb full in
+              for i = 0 to pos - 1 do
+                sources.(i) <- old
+              done;
+              sources.(pos) <- chunk;
+              Dl_eval.run_compiled cr sources (derive cr)
+            end;
+            grab ()
+          end
+        in
+        grab ();
+        accs.(w) <- !acc);
+    let fresh = ref Instance.empty in
+    Array.iter (fun a -> fresh := Instance.union !fresh a) accs;
+    !fresh
+  in
+  (* [full = old ∪ delta]; the first round treats the whole input as the
+     delta over an empty [old], which fires every rule naively (only
+     position 0 can match) — each derivation exactly once. *)
+  let rec loop ~first old delta =
+    let full = Instance.union old delta in
+    if Instance.is_empty delta || Atomic.get found then full
+    else begin
+      let chunks = split_delta (2 * nworkers) delta in
+      prewarm body_rels (full :: old :: Array.to_list chunks);
+      let units = round_units ~first ~delta chunks rules in
+      let fresh = fire_round ~old ~full units in
+      loop ~first:false full fresh
+    end
+  in
+  loop ~first:true Instance.empty inst
+
+let fixpoint ?stop p inst =
+  if domains () = 1 then
+    match stop with
+    | None -> Dl_eval.fixpoint p inst
+    | Some _ ->
+        (* Dl_eval does not export its ?stop; the sharded path with a
+           1-sized pool degenerates to sequential evaluation anyway *)
+        fixpoint_gen ?stop p inst
+  else fixpoint_gen ?stop p inst
+
+let eval (q : Datalog.query) inst =
+  Instance.tuples (fixpoint q.program inst) q.goal
+
+let tuple_equal a b =
+  Array.length a = Array.length b && Array.for_all2 Const.equal a b
+
+let holds (q : Datalog.query) inst tup =
+  let want (f : Fact.t) =
+    String.equal f.rel q.goal && tuple_equal f.args tup
+  in
+  let fp = fixpoint ~stop:want q.program inst in
+  List.exists (tuple_equal tup) (Instance.tuples fp q.goal)
+
+let holds_boolean (q : Datalog.query) inst =
+  let stop (f : Fact.t) = String.equal f.rel q.goal in
+  Instance.cardinal (fixpoint ~stop q.program inst) q.goal > 0

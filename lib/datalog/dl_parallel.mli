@@ -1,0 +1,65 @@
+(** Work-sharded semi-naive evaluation over OCaml 5 domains.
+
+    Same semantics as {!Dl_eval} — least fixpoint, early-stopping goal
+    checks — but each semi-naive round's firing set is partitioned across
+    a persistent pool of [Domain.t] workers.  The unit of work is a
+    (rule × delta-position × delta-chunk) triple: the round's delta is
+    split round-robin into chunks, and each worker matches its units with
+    the slot-compiled matcher of {!Dl_eval} into a private accumulator
+    instance.  Workers only read the shared round instances (their
+    indexes are pre-built before dispatch), so matching is race-free; the
+    single synchronization point is the round barrier, where the private
+    accumulators are merged single-threaded with the warm
+    {!Instance.union} (which extends cached indexes instead of rebuilding
+    them).
+
+    The result is deterministic: every round derives exactly the facts
+    the sequential engine would, whatever the domain count or schedule,
+    because chunks partition the delta and the merged union is a set.
+    Early-stopping checks ({!holds}, {!holds_boolean}) communicate
+    through an atomic flag — a worker that derives the goal sets it,
+    everyone drains at the next check, and the barrier returns what was
+    derived so far — so the Boolean verdict is deterministic even though
+    the stopped instance need not be.
+
+    With an effective domain count of 1 everything delegates straight to
+    {!Dl_eval}: no pool, no chunking, no overhead.
+
+    Thread-safety contract: call this module (and anything routed to it
+    through {!Dl_engine}) from one coordinating thread only.  The worker
+    pool is process-global, sized by {!set_domains} / [MONDET_DOMAINS] /
+    [Domain.recommended_domain_count], and is resized lazily when the
+    requested count changes. *)
+
+val set_domains : int -> unit
+(** Request a total worker count (the coordinating thread counts as one
+    worker, so [n - 1] domains are spawned).  Clamped to [1, 64].  This
+    is what the CLI's [--domains] flag calls; it overrides the
+    [MONDET_DOMAINS] environment variable, which in turn overrides
+    [Domain.recommended_domain_count ()]. *)
+
+val domains : unit -> int
+(** The effective worker count the next evaluation will use. *)
+
+val shutdown : unit -> unit
+(** Join the worker pool (a no-op if none is live).  Idle domains are
+    not free: every minor collection synchronizes all live domains, so a
+    long single-threaded phase after a parallel one runs measurably
+    slower while the pool idles.  Benchmarks and other timing-sensitive
+    callers should [shutdown] when switching back to sequential work;
+    the next parallel evaluation respawns the pool transparently.  Also
+    registered with [at_exit]. *)
+
+val fixpoint : ?stop:(Fact.t -> bool) -> Datalog.program -> Instance.t -> Instance.t
+(** Least fixpoint, as {!Dl_eval.fixpoint}.  [stop] is probed on every
+    newly derived fact; returning [true] aborts the evaluation after the
+    current round's barrier with the facts derived so far. *)
+
+val eval : Datalog.query -> Instance.t -> Const.t array list
+(** All goal tuples, via the full parallel fixpoint. *)
+
+val holds : Datalog.query -> Instance.t -> Const.t array -> bool
+(** Membership of one goal tuple, early-stopping. *)
+
+val holds_boolean : Datalog.query -> Instance.t -> bool
+(** Goal-relation nonemptiness, early-stopping. *)

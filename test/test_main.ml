@@ -5,6 +5,7 @@ let () =
       ("cq", Test_cq.suite);
       ("datalog", Test_datalog.suite);
       ("magic", Test_magic.suite);
+      ("parallel", Test_parallel.suite);
       ("parse", Test_parse.suite);
       ("views", Test_views.suite);
       ("treewidth", Test_treewidth.suite);
