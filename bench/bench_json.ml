@@ -249,6 +249,59 @@ let engine_tests =
     (e6 @ grid @ diamond @ tc_point @ thm9 @ [ chase_replay ])
 
 (* ------------------------------------------------------------------ *)
+(* Decision-service probes: the request path through Svc_service with a
+   cold cache (service construction + load + one full evaluation per
+   run) vs a warm cache (the steady state: line parse + canonical-form
+   digest + LRU hit), plus a mixed batch through the sequential
+   dispatcher.  All single-threaded — the pool-dispatch path is
+   exercised by the test suite, not timed here.                        *)
+
+let service_tests =
+  let load_prog =
+    "l1 load s program tc goal T : T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y)."
+  in
+  let load_inst =
+    "l2 load s instance i : "
+    ^ String.concat " "
+        (List.init 31 (fun i -> Printf.sprintf "E(n%d,n%d)." i (i + 1)))
+  in
+  let feed svc line = ignore (Svc_service.handle_line svc line) in
+  let cold =
+    Test.make ~name:"eval-cold"
+      (Staged.stage (fun () ->
+           let svc = Svc_service.create ~parallel:false () in
+           feed svc load_prog;
+           feed svc load_inst;
+           feed svc "q1 eval s tc i"))
+  in
+  let warm =
+    Test.make ~name:"eval-warm"
+      (Staged.stage
+         (let svc = Svc_service.create ~parallel:false () in
+          feed svc load_prog;
+          feed svc load_inst;
+          feed svc "q1 eval s tc i";
+          fun () -> feed svc "q1 eval s tc i"))
+  in
+  let batch =
+    (* a warm 8-request mixed batch through handle_lines: per-request
+       dispatch overhead with every answer cached *)
+    Test.make ~name:"batch8-warm"
+      (Staged.stage
+         (let svc = Svc_service.create ~parallel:false () in
+          feed svc load_prog;
+          feed svc load_inst;
+          let lines =
+            List.init 8 (fun k ->
+                if k mod 2 = 0 then Printf.sprintf "q%d eval s tc i" k
+                else Printf.sprintf "q%d holds s tc i (n0,n%d)" k (k * 3))
+          in
+          ignore (Svc_service.handle_lines svc lines);
+          fun () -> ignore (Svc_service.handle_lines svc lines)))
+  in
+  Test.make_grouped ~name:"service" [ cold; warm; batch ]
+
+(* ------------------------------------------------------------------ *)
 (* Parallel-engine probes: wide workloads (one fat join round, a long
    semi-naive run, a full grid-query fixpoint) under the indexed engine
    and the domain-sharded engine at several pool sizes.  The sequential
@@ -361,10 +414,13 @@ let json ?(path = "BENCH_eval.json") () =
   let base_rows = run micro_tests in
   let scale_rows = run scale_tests in
   let engine_rows = run engine_tests in
+  let service_rows = run service_tests in
   let par_rows = run par_tests in
   Dl_parallel.set_domains 1;
   Dl_parallel.shutdown ();
-  let rows = base_rows @ scale_rows @ engine_rows @ par_rows in
+  let rows =
+    base_rows @ scale_rows @ engine_rows @ service_rows @ par_rows
+  in
   print_rows rows;
   let oc = open_out path in
   output_string oc "{\n";

@@ -400,3 +400,73 @@ let e15 () =
   pf "  (committed numbers are from a single-core container — the sweep@.";
   pf "   there measures sharding overhead; on k cores the wide rounds@.";
   pf "   scale with min(k, units per round), see EXPERIMENTS.md E15)@."
+
+(* E16 — the decision service's result cache on a repeated workload.
+
+   Methodology: a service session loads one recursive program and a set
+   of instances, then the same mixed eval/holds/mondet-test request
+   stream is replayed through Svc_service.handle_line.  The first pass
+   is all cache misses (every request pays a full evaluation); every
+   later pass is all hits (a request pays parse + canonical-form digest
+   + LRU lookup).  Reported: per-pass wall time, hit/miss counters from
+   the server's own stats verb, and the cold/warm speedup.  Caveats as
+   in E15: single-core container numbers; the warm path's cost is
+   dominated by re-printing the canonical forms for the digest, so it
+   grows with instance size even on hits. *)
+let e16 () =
+  pf "@.### E16 — service result cache: cold vs warm replay ###@.";
+  let svc = Svc_service.create ~parallel:false () in
+  let feed line =
+    match (Svc_service.handle_line svc line).Svc_proto.result with
+    | Svc_proto.Ok_ b -> b
+    | Svc_proto.Error_ m -> failwith ("e16 setup: " ^ m)
+    | Svc_proto.Timeout -> failwith "e16 setup: unexpected timeout"
+  in
+  ignore
+    (feed
+       "l1 load s program tc goal T : T(x,y) <- E(x,y). T(x,y) <- E(x,z), \
+        T(z,y).");
+  ignore
+    (feed
+       "l2 load s program reach goal Goal : Goal() <- T(x,y). T(x,y) <- \
+        E(x,y). T(x,y) <- E(x,z), T(z,y).");
+  ignore (feed "l3 load s views v : V(x,y) <- E(x,y).");
+  let sizes = [ 16; 32; 64 ] in
+  List.iter
+    (fun n ->
+      let edges =
+        String.concat " "
+          (List.init (n - 1) (fun i -> Printf.sprintf "E(n%d,n%d)." i (i + 1)))
+      in
+      ignore (feed (Printf.sprintf "l-i%d load s instance i%d : %s" n n edges)))
+    sizes;
+  let stream =
+    List.concat_map
+      (fun n ->
+        [
+          Printf.sprintf "q-e%d eval s tc i%d" n n;
+          Printf.sprintf "q-h%d holds s tc i%d (n0,n%d)" n n (n - 1);
+          Printf.sprintf "q-b%d eval s reach i%d" n n;
+        ])
+      sizes
+    @ [ "q-md mondet-test s reach v" ]
+  in
+  let replay () = List.iter (fun l -> ignore (feed l)) stream in
+  let passes = 5 in
+  let times =
+    List.init passes (fun _ -> snd (time replay))
+  in
+  let cold = List.hd times in
+  let warm =
+    List.fold_left ( +. ) 0. (List.tl times) /. float_of_int (passes - 1)
+  in
+  List.iteri
+    (fun i t ->
+      pf "  pass %d (%s): %.4fs (%d requests)@." (i + 1)
+        (if i = 0 then "cold" else "warm")
+        t (List.length stream))
+    times;
+  pf "  %s@." (feed "q-stats stats");
+  pf "  cold/warm speedup: %.1fx@." (cold /. warm);
+  pf "  (warm requests pay parse + canonical-form digest + LRU lookup;@.";
+  pf "   single-core container numbers, caveats as in E15)@."

@@ -31,6 +31,7 @@ let report () =
   Experiments.e13 ();
   Experiments.e14 ();
   Experiments.e15 ();
+  Experiments.e16 ();
   Format.printf "@.report complete.@."
 
 let () =

@@ -14,27 +14,7 @@ let read_file path =
   close_in ic;
   s
 
-let views_of_file path =
-  let rules = Parse.program (read_file path) in
-  let names =
-    List.sort_uniq String.compare
-      (List.map (fun (r : Datalog.rule) -> r.Datalog.head.Cq.rel) rules)
-  in
-  List.map
-    (fun name ->
-      let group = List.filter (fun (r : Datalog.rule) -> r.Datalog.head.Cq.rel = name) rules in
-      let cq_of (r : Datalog.rule) =
-        let head =
-          List.map
-            (function Cq.Var v -> v | Cq.Cst _ -> failwith "constant in view head")
-            r.Datalog.head.Cq.args
-        in
-        Cq.make ~head r.Datalog.body
-      in
-      match group with
-      | [ r ] -> View.cq name (cq_of r)
-      | rs -> View.ucq name (Ucq.make (List.map cq_of rs)))
-    names
+let views_of_file path = Parse.views (read_file path)
 
 let query_of ~goal path = Parse.query ~goal (read_file path)
 let instance_of path = Parse.instance (read_file path)
@@ -196,12 +176,137 @@ let tiling_cmd =
     (Cmd.info "tiling" ~doc:"Run the Lemma 6 parity-tiling separation on a grid.")
     Term.(ret (const run $ n_arg $ m_arg))
 
+(* ------------------------------------------------------------------ *)
+(* The decision service (lib/service): [serve] runs the long-lived
+   server, [batch] one-shots a request script, [client] drives a running
+   socket server in lockstep. *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Serve on (resp. connect to) a Unix-domain socket at $(docv) \
+           instead of stdio.")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt int 512
+    & info [ "cache" ] ~docv:"N"
+        ~doc:"Capacity of the LRU result cache, in entries.")
+
+let sequential_arg =
+  Arg.(
+    value & flag
+    & info [ "sequential" ]
+        ~doc:
+          "Handle batched requests sequentially on the coordinating \
+           thread instead of dispatching cache misses onto the domain \
+           pool.")
+
+let read_lines_of = function
+  | "-" ->
+      let rec go acc =
+        match input_line stdin with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go []
+  | path -> String.split_on_char '\n' (read_file path)
+
+let script_arg =
+  Arg.(
+    value & pos 0 string "-"
+    & info [] ~docv:"SCRIPT"
+        ~doc:"Request script, one request per line ($(b,-) for stdin).")
+
+let serve_cmd =
+  let run socket cache sequential engine domains verbose =
+    set_engine verbose engine domains;
+    let service =
+      Svc_service.create ~cache_capacity:cache ~parallel:(not sequential) ()
+    in
+    (match socket with
+    | None -> Svc_server.serve_stdio service
+    | Some path -> Svc_server.serve_socket ~path service);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the decision service: named sessions of loaded \
+          programs/views/instances, an LRU result cache, per-request \
+          deadlines, and batch dispatch onto the domain pool.  Protocol: \
+          see lib/service/svc_proto.mli and the README.")
+    Term.(
+      ret
+        (const run $ socket_arg $ cache_arg $ sequential_arg $ engine_arg
+       $ domains_arg $ verbose_arg))
+
+let batch_cmd =
+  let run script cache sequential engine domains verbose =
+    set_engine verbose engine domains;
+    let service =
+      Svc_service.create ~cache_capacity:cache ~parallel:(not sequential) ()
+    in
+    let lines =
+      List.filter (fun l -> String.trim l <> "") (read_lines_of script)
+    in
+    List.iter
+      (fun r -> print_endline (Svc_proto.print_response r))
+      (Svc_service.handle_lines service lines);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "One-shot the decision service on a request script: all lines \
+          form one batch (loads execute at their position; cache-missed \
+          eval/holds requests overlap on the domain pool) and the \
+          responses print in request order.")
+    Term.(
+      ret
+        (const run $ script_arg $ cache_arg $ sequential_arg $ engine_arg
+       $ domains_arg $ verbose_arg))
+
+let client_cmd =
+  let socket_req =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of a running $(b,mondet serve).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit nonzero if any response is not $(b,ok).")
+  in
+  let run socket strict script =
+    let lines = read_lines_of script in
+    let bad = Svc_server.client_socket ~path:socket lines stdout in
+    if strict && bad > 0 then `Error (false, string_of_int bad ^ " non-ok responses")
+    else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Drive a running $(b,mondet serve --socket) in lockstep: send \
+          each script line, await and print its response.")
+    Term.(ret (const run $ socket_req $ strict $ script_arg))
+
 let main =
   Cmd.group
     (Cmd.info "mondet" ~version:"1.0"
        ~doc:
          "Monotonic determinacy and rewritability for recursive queries and \
           views (PODS 2020 reproduction).")
-    [ eval_cmd; md_cmd; rewrite_cmd; image_cmd; pebble_cmd; tiling_cmd ]
+    [
+      eval_cmd; md_cmd; rewrite_cmd; image_cmd; pebble_cmd; tiling_cmd;
+      serve_cmd; batch_cmd; client_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

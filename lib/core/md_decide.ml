@@ -55,7 +55,7 @@ type verdict =
   | Not_determined_cert of Md_tests.test option
   | Bounded_no_failure of int
 
-let decide ?max_depth ?view_depth ?engine (q : Datalog.query) views =
+let decide ?max_depth ?view_depth ?engine ?cancel (q : Datalog.query) views =
   match Dl_fragment.classify q with
   | Dl_fragment.CQ | Dl_fragment.UCQ -> (
       match Dl_fragment.to_ucq q with
@@ -63,7 +63,9 @@ let decide ?max_depth ?view_depth ?engine (q : Datalog.query) views =
           if ucq_query u views then Determined else Not_determined_cert None
       | None -> raise (Unsupported "decide: could not unfold the query"))
   | _ -> (
-      match Md_tests.decide_bounded ?max_depth ?view_depth ?engine q views with
+      match
+        Md_tests.decide_bounded ?max_depth ?view_depth ?engine ?cancel q views
+      with
       | Md_tests.Not_determined t -> Not_determined_cert (Some t)
       | Md_tests.No_failure_up_to n -> Bounded_no_failure n)
 

@@ -44,12 +44,15 @@ val decide :
   ?max_depth:int ->
   ?view_depth:int ->
   ?engine:Dl_engine.strategy ->
+  ?cancel:Dl_cancel.t ->
   Datalog.query ->
   View.collection ->
   verdict
 (** Dispatcher: uses the exact procedure when the query is a CQ/UCQ
     (classified by {!Dl_fragment.classify}); otherwise the bounded test
     search, whose per-test evaluation uses [engine] (default: the
-    process-wide {!Dl_engine} strategy). *)
+    process-wide {!Dl_engine} strategy).  [cancel] reaches the bounded
+    search only — the exact automata path is short and not
+    cancellation-aware. *)
 
 val pp_verdict : verdict Fmt.t

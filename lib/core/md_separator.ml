@@ -1,7 +1,8 @@
-let of_rewriting ?engine r j = Dl_engine.holds_boolean ?strategy:engine r j
+let of_rewriting ?engine ?cancel r j =
+  Dl_engine.holds_boolean ?strategy:engine ?cancel r j
 
-let certain_answers_cq_views ?engine q views j =
-  Dl_engine.holds_boolean ?strategy:engine (Inverse_rules.rewrite q views) j
+let certain_answers_cq_views ?engine ?cancel q views j =
+  Dl_engine.holds_boolean ?strategy:engine ?cancel (Inverse_rules.rewrite q views) j
 
 type chase_mode = Any | All
 
@@ -48,11 +49,17 @@ let memoized_chases ?view_depth ?max_choices_per_fact views j =
       seq
 
 let chase_separator ?(mode = All) ?view_depth ?max_choices_per_fact
-    ?(max_chases = 512) ?engine (q : Datalog.query) views j =
+    ?(max_chases = 512) ?engine ?(cancel = Dl_cancel.none) (q : Datalog.query)
+    views j =
   let chases =
     Seq.take max_chases (memoized_chases ?view_depth ?max_choices_per_fact views j)
   in
-  let sat d = Dl_engine.holds_boolean ?strategy:engine q d in
+  (* one probe per chase step: aborting between chases leaves the
+     memoized prefix fully instantiated, so a retry resumes it intact *)
+  let sat d =
+    Dl_cancel.check cancel;
+    Dl_engine.holds_boolean ?strategy:engine ~cancel q d
+  in
   match mode with
   | Any -> Seq.exists sat chases
   | All ->

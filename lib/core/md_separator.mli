@@ -8,12 +8,19 @@
     covers all Datalog query/view pairs. *)
 
 val of_rewriting :
-  ?engine:Dl_engine.strategy -> Datalog.query -> Instance.t -> bool
+  ?engine:Dl_engine.strategy ->
+  ?cancel:Dl_cancel.t ->
+  Datalog.query ->
+  Instance.t ->
+  bool
 (** The separator induced by a Boolean Datalog rewriting.  [engine]
-    overrides the process-wide {!Dl_engine} default (likewise below). *)
+    overrides the process-wide {!Dl_engine} default; [cancel] is the
+    cooperative cancellation token threaded into evaluation (likewise
+    below). *)
 
 val certain_answers_cq_views :
   ?engine:Dl_engine.strategy ->
+  ?cancel:Dl_cancel.t ->
   Datalog.query ->
   View.collection ->
   Instance.t ->
@@ -29,6 +36,7 @@ val chase_separator :
   ?max_choices_per_fact:int ->
   ?max_chases:int ->
   ?engine:Dl_engine.strategy ->
+  ?cancel:Dl_cancel.t ->
   Datalog.query ->
   View.collection ->
   Instance.t ->
@@ -47,7 +55,11 @@ val chase_separator :
     The taken chase prefix is memoized (one slot, keyed on the bounds,
     the view collection and the image), so checking [Any] and [All] on
     the same image — or replaying the separator — does not redo the
-    inverse-view chase. *)
+    inverse-view chase.
+
+    [cancel] is probed before every chase step (and at round boundaries
+    inside each chase's evaluation); an abort leaves the memoized prefix
+    fully instantiated, so a retry resumes where the abort struck. *)
 
 val brute_force_certain :
   ?max_preimages:int ->

@@ -91,16 +91,20 @@ let tests ?(max_depth = 4) ?(view_depth = 3) ?(max_choices_per_fact = 4)
       |> Seq.map (fun chased -> { approx = qi; image; chased }))
     (List.to_seq approxs)
 
-let succeeds ?engine q t = Dl_engine.holds_boolean ?strategy:engine q t.chased
+let succeeds ?engine ?cancel q t =
+  Dl_engine.holds_boolean ?strategy:engine ?cancel q t.chased
 
 let decide_bounded ?max_depth ?view_depth ?max_choices_per_fact
-    ?max_tests_per_approx ?engine q views =
+    ?max_tests_per_approx ?engine ?(cancel = Dl_cancel.none) q views =
   let n = ref 0 in
   let failing =
     Seq.find
       (fun t ->
+        (* one probe per generated test, besides the per-round probes
+           inside each test's evaluation *)
+        Dl_cancel.check cancel;
         incr n;
-        not (succeeds ?engine q t))
+        not (succeeds ?engine ~cancel q t))
       (tests ?max_depth ?view_depth ?max_choices_per_fact
          ?max_tests_per_approx q views)
   in

@@ -42,7 +42,8 @@ val tests :
     4 inverse choices per view fact, 256 choice combinations per
     approximation. *)
 
-val succeeds : ?engine:Dl_engine.strategy -> Datalog.query -> test -> bool
+val succeeds :
+  ?engine:Dl_engine.strategy -> ?cancel:Dl_cancel.t -> Datalog.query -> test -> bool
 (** Does [D' ⊨ Q] (the query is Boolean: goal non-emptiness)?  [engine]
     overrides the process-wide {!Dl_engine} default for this check. *)
 
@@ -56,8 +57,12 @@ val decide_bounded :
   ?max_choices_per_fact:int ->
   ?max_tests_per_approx:int ->
   ?engine:Dl_engine.strategy ->
+  ?cancel:Dl_cancel.t ->
   Datalog.query ->
   View.collection ->
   verdict
+(** [cancel] is probed once per generated test and at every evaluation
+    round inside each test; {!Dl_cancel.Cancelled} escapes to the
+    caller. *)
 
 val pp_test : test Fmt.t

@@ -69,44 +69,49 @@ let set_default s = Atomic.set default_strategy s
    per top-level call, never again mid-evaluation. *)
 let resolve = function Some s -> s | None -> Atomic.get default_strategy
 
-let goal_tuples_naive (q : Datalog.query) inst =
-  Instance.tuples (Dl_eval.fixpoint_naive q.Datalog.program inst) q.Datalog.goal
+let goal_tuples_naive ?cancel (q : Datalog.query) inst =
+  Instance.tuples
+    (Dl_eval.fixpoint_naive ?cancel q.Datalog.program inst)
+    q.Datalog.goal
 
-let eval ?strategy (q : Datalog.query) inst =
+let eval ?strategy ?cancel (q : Datalog.query) inst =
   match resolve strategy with
-  | Naive -> goal_tuples_naive q inst
-  | Indexed -> Dl_eval.eval q inst
-  | Parallel -> Dl_parallel.eval q inst
-  | Magic when not (Dl_magic.applicable q) -> Dl_eval.eval q inst
+  | Naive -> goal_tuples_naive ?cancel q inst
+  | Indexed -> Dl_eval.eval ?cancel q inst
+  | Parallel -> Dl_parallel.eval ?cancel q inst
+  | Magic when not (Dl_magic.applicable q) -> Dl_eval.eval ?cancel q inst
   | Magic ->
       let m = Dl_magic.transform q (Dl_magic.all_free (Datalog.goal_arity q)) in
-      Dl_eval.eval m.Dl_magic.query (Instance.add (Dl_magic.seed_free m) inst)
+      Dl_eval.eval ?cancel m.Dl_magic.query
+        (Instance.add (Dl_magic.seed_free m) inst)
 
 let tuple_equal a b =
   Array.length a = Array.length b && Array.for_all2 Const.equal a b
 
-let holds ?strategy (q : Datalog.query) inst tup =
+let holds ?strategy ?cancel (q : Datalog.query) inst tup =
   match resolve strategy with
-  | Naive -> List.exists (tuple_equal tup) (goal_tuples_naive q inst)
-  | Indexed -> Dl_eval.holds q inst tup
-  | Parallel -> Dl_parallel.holds q inst tup
-  | Magic when not (Dl_magic.applicable q) -> Dl_eval.holds q inst tup
+  | Naive -> List.exists (tuple_equal tup) (goal_tuples_naive ?cancel q inst)
+  | Indexed -> Dl_eval.holds ?cancel q inst tup
+  | Parallel -> Dl_parallel.holds ?cancel q inst tup
+  | Magic when not (Dl_magic.applicable q) -> Dl_eval.holds ?cancel q inst tup
   | Magic ->
       let m = Dl_magic.transform q (Dl_magic.all_bound (Array.length tup)) in
-      Dl_eval.holds m.Dl_magic.query (Instance.add (Dl_magic.seed m tup) inst) tup
+      Dl_eval.holds ?cancel m.Dl_magic.query
+        (Instance.add (Dl_magic.seed m tup) inst)
+        tup
 
-let holds_boolean ?strategy (q : Datalog.query) inst =
+let holds_boolean ?strategy ?cancel (q : Datalog.query) inst =
   match resolve strategy with
-  | Naive -> goal_tuples_naive q inst <> []
-  | Indexed -> Dl_eval.holds_boolean q inst
-  | Parallel -> Dl_parallel.holds_boolean q inst
-  | Magic when not (Dl_magic.applicable q) -> Dl_eval.holds_boolean q inst
+  | Naive -> goal_tuples_naive ?cancel q inst <> []
+  | Indexed -> Dl_eval.holds_boolean ?cancel q inst
+  | Parallel -> Dl_parallel.holds_boolean ?cancel q inst
+  | Magic when not (Dl_magic.applicable q) -> Dl_eval.holds_boolean ?cancel q inst
   | Magic ->
       let m = Dl_magic.transform q (Dl_magic.all_free (Datalog.goal_arity q)) in
-      Dl_eval.holds_boolean m.Dl_magic.query
+      Dl_eval.holds_boolean ?cancel m.Dl_magic.query
         (Instance.add (Dl_magic.seed_free m) inst)
 
-let contained_cq_in ?strategy (cq : Cq.t) q =
+let contained_cq_in ?strategy ?cancel (cq : Cq.t) q =
   let db = Cq.canonical_db cq in
   let tup = Array.of_list (Cq.head_consts cq) in
-  holds ?strategy q db tup
+  holds ?strategy ?cancel q db tup

@@ -80,16 +80,32 @@ val set_default : strategy -> unit
     [set_default] can never make one evaluation mix strategies across
     rounds. *)
 
-val eval : ?strategy:strategy -> Datalog.query -> Instance.t -> Const.t array list
-(** All goal tuples of the query on the instance. *)
+val eval :
+  ?strategy:strategy ->
+  ?cancel:Dl_cancel.t ->
+  Datalog.query ->
+  Instance.t ->
+  Const.t array list
+(** All goal tuples of the query on the instance.  [cancel] is the
+    cooperative cancellation token threaded into the underlying fixpoint,
+    probed at semi-naive round boundaries (see {!Dl_cancel}); a cancelled
+    token raises {!Dl_cancel.Cancelled}. *)
 
-val holds : ?strategy:strategy -> Datalog.query -> Instance.t -> Const.t array -> bool
+val holds :
+  ?strategy:strategy ->
+  ?cancel:Dl_cancel.t ->
+  Datalog.query ->
+  Instance.t ->
+  Const.t array ->
+  bool
 (** Membership of one goal tuple.  Under [Magic] this binds every goal
     position in the demand pattern, so only derivations consistent with
     the tuple are explored. *)
 
-val holds_boolean : ?strategy:strategy -> Datalog.query -> Instance.t -> bool
+val holds_boolean :
+  ?strategy:strategy -> ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> bool
 (** The Boolean query is true (its goal relation is nonempty). *)
 
-val contained_cq_in : ?strategy:strategy -> Cq.t -> Datalog.query -> bool
+val contained_cq_in :
+  ?strategy:strategy -> ?cancel:Dl_cancel.t -> Cq.t -> Datalog.query -> bool
 (** CQ ⊆ Datalog containment via the canonical-database check. *)

@@ -310,7 +310,8 @@ let chead_fact (cr : crule) env =
         cr.chead.cterms;
   }
 
-let fixpoint_gen ?(stop = fun _ -> false) p inst =
+let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
+  Dl_cancel.check cancel;
   let rules = compile p in
   let derive cr full fresh env =
     let f = chead_fact cr env in
@@ -357,40 +358,44 @@ let fixpoint_gen ?(stop = fun _ -> false) p inst =
      semi-naive split needs no set difference; [derive] only ever puts facts
      absent from [full] into the delta, so no deduplication is needed
      either. *)
+  (* the cancellation probe sits at the round boundary: aborting there
+     leaves no shared state half-written (the compiled-rule cache and the
+     instances' index caches only ever hold completed entries) *)
   let rec loop old delta =
+    Dl_cancel.check cancel;
     let full = Instance.union old delta in
     if Instance.is_empty delta then full
     else loop full (fire_semi ~old ~delta full)
   in
   try loop inst (fire_naive inst) with Stopped i -> i
 
-let fixpoint p inst = fixpoint_gen p inst
+let fixpoint ?cancel p inst = fixpoint_gen ?cancel p inst
 
-let eval (q : Datalog.query) inst =
-  let fp = fixpoint q.program inst in
+let eval ?cancel (q : Datalog.query) inst =
+  let fp = fixpoint ?cancel q.program inst in
   Instance.tuples fp q.goal
 
 (* goal checks stop the fixpoint as soon as the wanted fact is derived *)
-let holds (q : Datalog.query) inst tup =
+let holds ?cancel (q : Datalog.query) inst tup =
   let want (f : Fact.t) =
     String.equal f.rel q.goal
     && Array.length f.args = Array.length tup
     && Array.for_all2 Const.equal f.args tup
   in
-  let fp = fixpoint_gen ~stop:want q.program inst in
+  let fp = fixpoint_gen ~stop:want ?cancel q.program inst in
   List.exists
     (fun t -> Array.length t = Array.length tup
               && Array.for_all2 Const.equal t tup)
     (Instance.tuples fp q.goal)
 
-let holds_boolean (q : Datalog.query) inst =
+let holds_boolean ?cancel (q : Datalog.query) inst =
   let stop (f : Fact.t) = String.equal f.rel q.goal in
-  Instance.cardinal (fixpoint_gen ~stop q.program inst) q.goal > 0
+  Instance.cardinal (fixpoint_gen ~stop ?cancel q.program inst) q.goal > 0
 
-let contained_cq_in (cq : Cq.t) q =
+let contained_cq_in ?cancel (cq : Cq.t) q =
   let db = Cq.canonical_db cq in
   let tup = Array.of_list (Cq.head_consts cq) in
-  holds q db tup
+  holds ?cancel q db tup
 
 let equivalent_on q1 q2 insts =
   let norm ts = List.sort compare (List.map Array.to_list ts) in
@@ -433,7 +438,7 @@ let rec match_all_scan inst atoms env yield =
           c);
       !continue_
 
-let fixpoint_naive p inst =
+let fixpoint_naive ?(cancel = Dl_cancel.none) p inst =
   let fire full =
     let fresh = ref Instance.empty in
     List.iter
@@ -447,10 +452,11 @@ let fixpoint_naive p inst =
     !fresh
   in
   let rec loop full =
+    Dl_cancel.check cancel;
     let fresh = Instance.diff (fire full) full in
     if Instance.is_empty fresh then full else loop (Instance.union full fresh)
   in
   loop inst
 
-let eval_naive (q : Datalog.query) inst =
-  Instance.tuples (fixpoint_naive q.program inst) q.goal
+let eval_naive ?cancel (q : Datalog.query) inst =
+  Instance.tuples (fixpoint_naive ?cancel q.program inst) q.goal

@@ -22,28 +22,31 @@ val match_body :
     the bindings accumulated so far.  [yield] returns false to stop
     early. *)
 
-val fixpoint : Datalog.program -> Instance.t -> Instance.t
-(** Least fixpoint; returns the input instance extended with IDB facts. *)
+val fixpoint : ?cancel:Dl_cancel.t -> Datalog.program -> Instance.t -> Instance.t
+(** Least fixpoint; returns the input instance extended with IDB facts.
+    [cancel] is probed at every semi-naive round boundary (and once on
+    entry): a cancelled or expired token raises {!Dl_cancel.Cancelled}
+    without corrupting any shared cache. *)
 
-val eval : Datalog.query -> Instance.t -> Const.t array list
+val eval : ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> Const.t array list
 (** Goal tuples of the query on the instance. *)
 
-val holds : Datalog.query -> Instance.t -> Const.t array -> bool
-val holds_boolean : Datalog.query -> Instance.t -> bool
+val holds : ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> Const.t array -> bool
+val holds_boolean : ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> bool
 
-val contained_cq_in : Cq.t -> Datalog.query -> bool
+val contained_cq_in : ?cancel:Dl_cancel.t -> Cq.t -> Datalog.query -> bool
 (** [contained_cq_in q p] decides [q ⊆ p]: evaluate [p] on the canonical
     database of [q] and test the head tuple. *)
 
 val equivalent_on : Datalog.query -> Datalog.query -> Instance.t list -> bool
 (** Differential check: the two queries agree on all given instances. *)
 
-val fixpoint_naive : Datalog.program -> Instance.t -> Instance.t
+val fixpoint_naive : ?cancel:Dl_cancel.t -> Datalog.program -> Instance.t -> Instance.t
 (** Reference implementation: scan-based matching in textual atom order
     and naive (non-incremental) iteration — the seed's evaluator, kept as
     the oracle for differential tests of the indexed engine. *)
 
-val eval_naive : Datalog.query -> Instance.t -> Const.t array list
+val eval_naive : ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> Const.t array list
 (** Goal tuples via {!fixpoint_naive}. *)
 
 (** {2 Compiled-rule internals}

@@ -230,7 +230,8 @@ let round_units ~first ~delta chunks rules =
     rules;
   Array.of_list !units
 
-let fixpoint_gen ?(stop = fun _ -> false) p inst =
+let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
+  Dl_cancel.check cancel;
   let rules = Dl_eval.compile p in
   let body_rels =
     List.sort_uniq String.compare
@@ -285,7 +286,11 @@ let fixpoint_gen ?(stop = fun _ -> false) p inst =
   (* [full = old ∪ delta]; the first round treats the whole input as the
      delta over an empty [old], which fires every rule naively (only
      position 0 can match) — each derivation exactly once. *)
+  (* the cancellation probe sits at the round boundary, where the pool is
+     parked: an abort raises on the coordinating thread only and leaves
+     every worker idle and every shared cache complete *)
   let rec loop ~first old delta =
+    Dl_cancel.check cancel;
     let full = Instance.union old delta in
     if Instance.is_empty delta || Atomic.get found then full
     else begin
@@ -298,29 +303,55 @@ let fixpoint_gen ?(stop = fun _ -> false) p inst =
   in
   loop ~first:true Instance.empty inst
 
-let fixpoint ?stop p inst =
+let fixpoint ?stop ?cancel p inst =
   if domains () = 1 then
     match stop with
-    | None -> Dl_eval.fixpoint p inst
+    | None -> Dl_eval.fixpoint ?cancel p inst
     | Some _ ->
         (* Dl_eval does not export its ?stop; the sharded path with a
            1-sized pool degenerates to sequential evaluation anyway *)
-        fixpoint_gen ?stop p inst
-  else fixpoint_gen ?stop p inst
+        fixpoint_gen ?stop ?cancel p inst
+  else fixpoint_gen ?stop ?cancel p inst
 
-let eval (q : Datalog.query) inst =
-  Instance.tuples (fixpoint q.program inst) q.goal
+let eval ?cancel (q : Datalog.query) inst =
+  Instance.tuples (fixpoint ?cancel q.program inst) q.goal
 
 let tuple_equal a b =
   Array.length a = Array.length b && Array.for_all2 Const.equal a b
 
-let holds (q : Datalog.query) inst tup =
+let holds ?cancel (q : Datalog.query) inst tup =
   let want (f : Fact.t) =
     String.equal f.rel q.goal && tuple_equal f.args tup
   in
-  let fp = fixpoint ~stop:want q.program inst in
+  let fp = fixpoint ~stop:want ?cancel q.program inst in
   List.exists (tuple_equal tup) (Instance.tuples fp q.goal)
 
-let holds_boolean (q : Datalog.query) inst =
+let holds_boolean ?cancel (q : Datalog.query) inst =
   let stop (f : Fact.t) = String.equal f.rel q.goal in
-  Instance.cardinal (fixpoint ~stop q.program inst) q.goal > 0
+  Instance.cardinal (fixpoint ~stop ?cancel q.program inst) q.goal > 0
+
+(* ------------------------------------------------------------------ *)
+(* Generic batch dispatch over the same pool, for callers with
+   independent coarse-grained tasks (the request service's read-only
+   batches).  Tasks are drained off an atomic counter by every worker
+   (the caller included); each task must confine its effects to its own
+   data — see the safety contract in the mli. *)
+
+let run_tasks tasks =
+  match tasks with
+  | [] -> ()
+  | [ t ] -> t ()
+  | _ ->
+      let pool = get_pool (domains ()) in
+      let arr = Array.of_list tasks in
+      let n = Array.length arr in
+      let next = Atomic.make 0 in
+      run pool (fun _ ->
+          let rec grab () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              arr.(i) ();
+              grab ()
+            end
+          in
+          grab ())

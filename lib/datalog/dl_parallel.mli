@@ -50,16 +50,35 @@ val shutdown : unit -> unit
     the next parallel evaluation respawns the pool transparently.  Also
     registered with [at_exit]. *)
 
-val fixpoint : ?stop:(Fact.t -> bool) -> Datalog.program -> Instance.t -> Instance.t
+val fixpoint :
+  ?stop:(Fact.t -> bool) ->
+  ?cancel:Dl_cancel.t ->
+  Datalog.program ->
+  Instance.t ->
+  Instance.t
 (** Least fixpoint, as {!Dl_eval.fixpoint}.  [stop] is probed on every
     newly derived fact; returning [true] aborts the evaluation after the
-    current round's barrier with the facts derived so far. *)
+    current round's barrier with the facts derived so far.  [cancel] is
+    probed at every round boundary, on the coordinating thread, while the
+    pool is parked: a cancelled token raises {!Dl_cancel.Cancelled}
+    leaving the pool reusable and every shared cache complete. *)
 
-val eval : Datalog.query -> Instance.t -> Const.t array list
+val eval : ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> Const.t array list
 (** All goal tuples, via the full parallel fixpoint. *)
 
-val holds : Datalog.query -> Instance.t -> Const.t array -> bool
+val holds : ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> Const.t array -> bool
 (** Membership of one goal tuple, early-stopping. *)
 
-val holds_boolean : Datalog.query -> Instance.t -> bool
+val holds_boolean : ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> bool
 (** Goal-relation nonemptiness, early-stopping. *)
+
+val run_tasks : (unit -> unit) list -> unit
+(** Drain independent tasks across the worker pool (the calling thread
+    included), off a shared atomic counter; returns when all have run.
+    This is the request service's dispatch primitive: tasks must be
+    mutually independent and confine their writes to data they own —
+    shared read-only structures (instances, compiled rules) must have
+    their caches pre-built on the calling thread first, exactly as the
+    fixpoint rounds pre-warm indexes before sharding.  An exception in a
+    task is re-raised after the batch completes ([] and singleton lists
+    bypass the pool entirely). *)

@@ -2,6 +2,15 @@ exception Error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
+(* Every token carries the 1-based line/column where it starts, so parser
+   errors — not just tokenizer errors — can say where they struck. *)
+type pos = { line : int; col : int }
+
+let fail_at pos fmt =
+  Format.kasprintf
+    (fun s -> raise (Error (Printf.sprintf "line %d, column %d: %s" pos.line pos.col s)))
+    fmt
+
 type token =
   | Ident of string
   | Quoted of string
@@ -11,6 +20,16 @@ type token =
   | Period
   | Arrow
   | Eof
+
+let token_name = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Quoted s -> Printf.sprintf "constant '%s'" s
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Comma -> "','"
+  | Period -> "'.'"
+  | Arrow -> "'<-'"
+  | Eof -> "end of input"
 
 let is_ident_char c =
   (c >= 'a' && c <= 'z')
@@ -22,53 +41,67 @@ let tokenize s =
   let n = String.length s in
   let toks = ref [] in
   let i = ref 0 in
+  let line = ref 1 and bol = ref 0 in
+  let here () = { line = !line; col = !i - !bol + 1 } in
+  let push t p = toks := (t, p) :: !toks in
   while !i < n do
     let c = s.[!i] in
-    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    if c = '\n' then (
+      incr i;
+      incr line;
+      bol := !i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '%' then (
       while !i < n && s.[!i] <> '\n' do
         incr i
       done)
     else if c = '(' then (
-      toks := Lparen :: !toks;
+      push Lparen (here ());
       incr i)
     else if c = ')' then (
-      toks := Rparen :: !toks;
+      push Rparen (here ());
       incr i)
     else if c = ',' then (
-      toks := Comma :: !toks;
+      push Comma (here ());
       incr i)
     else if c = '.' then (
-      toks := Period :: !toks;
+      push Period (here ());
       incr i)
     else if c = '\'' then (
+      let p = here () in
       let j = ref (!i + 1) in
       while !j < n && s.[!j] <> '\'' do
         incr j
       done;
-      if !j >= n then fail "unterminated quote";
-      toks := Quoted (String.sub s (!i + 1) (!j - !i - 1)) :: !toks;
+      if !j >= n then fail_at p "unterminated quote";
+      push (Quoted (String.sub s (!i + 1) (!j - !i - 1))) p;
       i := !j + 1)
     else if c = '<' && !i + 1 < n && s.[!i + 1] = '-' then (
-      toks := Arrow :: !toks;
+      push Arrow (here ());
       i := !i + 2)
     else if c = ':' && !i + 1 < n && s.[!i + 1] = '-' then (
-      toks := Arrow :: !toks;
+      push Arrow (here ());
       i := !i + 2)
     else if is_ident_char c then (
+      let p = here () in
       let j = ref !i in
       while !j < n && is_ident_char s.[!j] do
         incr j
       done;
-      toks := Ident (String.sub s !i (!j - !i)) :: !toks;
+      push (Ident (String.sub s !i (!j - !i))) p;
       i := !j)
-    else fail "unexpected character %C" c
+    else fail_at (here ()) "unexpected character %C" c
   done;
-  List.rev (Eof :: !toks)
+  push Eof (here ());
+  List.rev !toks
 
-type state = { mutable toks : token list }
+type state = { mutable toks : (token * pos) list }
 
-let peek st = match st.toks with [] -> Eof | t :: _ -> t
+let eof_pos = { line = 1; col = 1 }
+
+let peek st = match st.toks with [] -> Eof | (t, _) :: _ -> t
+
+let pos st = match st.toks with [] -> eof_pos | (_, p) :: _ -> p
 
 let advance st =
   match st.toks with [] -> () | _ :: rest -> st.toks <- rest
@@ -91,7 +124,7 @@ let parse_args st ~term =
           | Rparen ->
               advance st;
               List.rev (a :: acc)
-          | _ -> fail "expected ',' or ')'"
+          | t -> fail_at (pos st) "expected ',' or ')', found %s" (token_name t)
         in
         go []
   | _ -> []
@@ -104,7 +137,7 @@ let rule_term st =
   | Quoted c ->
       advance st;
       Cq.Cst (Const.named c)
-  | _ -> fail "expected term"
+  | t -> fail_at (pos st) "expected term, found %s" (token_name t)
 
 let fact_term st =
   match peek st with
@@ -114,16 +147,17 @@ let fact_term st =
   | Quoted c ->
       advance st;
       Const.named c
-  | _ -> fail "expected constant"
+  | t -> fail_at (pos st) "expected constant, found %s" (token_name t)
 
 let parse_atom st =
   match peek st with
   | Ident name ->
       advance st;
       Cq.atom name (parse_args st ~term:rule_term)
-  | _ -> fail "expected atom"
+  | t -> fail_at (pos st) "expected atom, found %s" (token_name t)
 
 let parse_rule st =
+  let head_pos = pos st in
   let head = parse_atom st in
   let body =
     match peek st with
@@ -141,7 +175,9 @@ let parse_rule st =
     | _ -> []
   in
   if peek st = Period then advance st;
-  Datalog.rule head body
+  (* rule validation failures (head variable absent from the body, arity
+     clash, head constant) point at the rule's head token *)
+  try Datalog.rule head body with Invalid_argument m -> fail_at head_pos "%s" m
 
 let parse_program st =
   let rec go acc =
@@ -154,7 +190,9 @@ let parse_program st =
 let with_input s f =
   let st = { toks = tokenize s } in
   let r = f st in
-  (match peek st with Eof -> () | _ -> fail "trailing input");
+  (match peek st with
+  | Eof -> ()
+  | t -> fail_at (pos st) "trailing input at %s" (token_name t));
   r
 
 let program s = with_input s parse_program
@@ -203,6 +241,41 @@ let instance s =
             let args = parse_args st ~term:fact_term in
             if peek st = Period then advance st;
             go (Instance.add (Fact.make name args) acc)
-        | _ -> fail "expected fact"
+        | t -> fail_at (pos st) "expected fact, found %s" (token_name t)
       in
       go Instance.empty)
+
+(* ------------------------------------------------------------------ *)
+(* Views: a program whose rules are grouped by head predicate — each
+   group defines one view (a CQ view if a single rule, a UCQ view
+   otherwise).  Shared by the CLI's views files and the service's [load
+   views] payloads. *)
+
+let views_of_program (rules : Datalog.program) : View.collection =
+  let names =
+    List.sort_uniq String.compare
+      (List.map (fun (r : Datalog.rule) -> r.Datalog.head.Cq.rel) rules)
+  in
+  List.map
+    (fun name ->
+      let group =
+        List.filter
+          (fun (r : Datalog.rule) -> r.Datalog.head.Cq.rel = name)
+          rules
+      in
+      let cq_of (r : Datalog.rule) =
+        let head =
+          List.map
+            (function
+              | Cq.Var v -> v
+              | Cq.Cst _ -> fail "view %s: constant in view head" name)
+            r.Datalog.head.Cq.args
+        in
+        Cq.make ~head r.Datalog.body
+      in
+      match group with
+      | [ r ] -> View.cq name (cq_of r)
+      | rs -> View.ucq name (Ucq.make (List.map cq_of rs)))
+    names
+
+let views s = views_of_program (program s)

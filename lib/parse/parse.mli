@@ -10,7 +10,9 @@
     from [%] to the end of the line. *)
 
 exception Error of string
-(** Raised on any syntax error, with a human-readable message. *)
+(** Raised on any syntax error, with a human-readable message.  Messages
+    for errors attributable to a place in the input are prefixed with the
+    1-based [line L, column C: ] of the offending token. *)
 
 val program : string -> Datalog.program
 val query : goal:string -> string -> Datalog.query
@@ -27,3 +29,14 @@ val atom : string -> Cq.atom
 val instance : string -> Instance.t
 (** Period- or whitespace-separated ground facts; identifiers denote
     constants. *)
+
+val views : string -> View.collection
+(** A views program: rules grouped by head predicate, each group one view
+    (a CQ view for a single rule, a UCQ view otherwise).  This is the
+    format of the CLI's VIEWS files and the service's [load views]
+    payloads.
+    @raise Error on syntax errors, or if some view head contains a
+    constant (the message names the offending view). *)
+
+val views_of_program : Datalog.program -> View.collection
+(** {!views} on an already-parsed program. *)

@@ -1,0 +1,33 @@
+(** Structurally-hashed LRU result cache for the decision service.
+
+    Maps digest keys (built with {!key} from canonical pretty-printed
+    forms of programs, goals and instances) to response bodies of
+    successful requests.  Bounded capacity with least-recently-used
+    eviction; O(1) lookup and insert.
+
+    Not thread-safe — the service touches it from the coordinating
+    thread only; pooled batch workers never see it. *)
+
+type t
+
+val create : int -> t
+(** [create capacity].  @raise Invalid_argument if [capacity < 1]. *)
+
+val key : string list -> string
+(** Digest of the canonical parts (verb tag, program text, instance
+    text, ...), order-sensitive. *)
+
+val find : t -> string -> string option
+(** Lookup; counts a hit (and refreshes recency) or a miss. *)
+
+val add : t -> string -> string -> unit
+(** Insert or refresh a binding, evicting the least-recently-used entry
+    when over capacity.  Does not count a hit or a miss. *)
+
+val mem : t -> string -> bool
+(** Presence check without touching counters or recency. *)
+
+val entries : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int

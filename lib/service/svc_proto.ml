@@ -1,0 +1,290 @@
+(* The mondet service wire protocol: line-oriented text, one request per
+   line, exactly one response line per request, in request order.
+
+   Request grammar (tokens are whitespace-separated words; [opts] are
+   [key=value] words; the [load] payload is everything after " : " and is
+   parsed with the {!Parse} surface syntax):
+
+     ID load SESSION program NAME goal GOAL [opts] : RULES
+     ID load SESSION views NAME [opts] : RULES
+     ID load SESSION instance NAME [opts] : FACTS
+     ID eval SESSION PROG INST [opts]
+     ID holds SESSION PROG INST (C1,...,Cn) [opts]
+     ID mondet-test SESSION PROG VIEWS [opts]
+     ID certain-answers SESSION PROG VIEWS INST [opts]
+     ID rewrite-check SESSION PROG VIEWS [opts]
+     ID stats
+
+   Options: [deadline=MS] on any verb; [depth=N] on mondet-test;
+   [samples=N] on rewrite-check.
+
+   Responses:
+
+     ID ok BODY
+     ID error MESSAGE
+     ID timeout
+*)
+
+type kind = Kprogram of string (* goal *) | Kviews | Kinstance
+
+type verb =
+  | Load of { kind : kind; name : string; text : string }
+  | Eval of { program : string; instance : string }
+  | Holds of { program : string; instance : string; tuple : string list }
+  | Mondet_test of { program : string; views : string; depth : int option }
+  | Certain_answers of { program : string; views : string; instance : string }
+  | Rewrite_check of { program : string; views : string; samples : int option }
+  | Stats
+
+type request = {
+  id : string;
+  session : string option; (* [None] exactly for [Stats] *)
+  deadline_ms : int option;
+  verb : verb;
+}
+
+type result = Ok_ of string | Error_ of string | Timeout
+
+type response = { rid : string; result : result }
+
+(* ------------------------------------------------------------------ *)
+(* Words.  Ids, session and object names are restricted to the same
+   character set as the surface syntax's identifiers plus [-]; this is
+   what keeps the wire format unambiguous without quoting. *)
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = '#' || c = '~' || c = '!' || c = '?'
+  || c = '$' || c = '*'
+
+let is_word s = s <> "" && String.for_all is_word_char s
+
+(* one-line sanitization for free-text response payloads *)
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+(* ------------------------------------------------------------------ *)
+(* Printer. *)
+
+let opt_kv k = function None -> [] | Some v -> [ Printf.sprintf "%s=%d" k v ]
+
+let print_request (r : request) =
+  let sess = match r.session with Some s -> [ s ] | None -> [] in
+  let deadline = opt_kv "deadline" r.deadline_ms in
+  let parts =
+    match r.verb with
+    | Load { kind; name; text } ->
+        let kind_part =
+          match kind with
+          | Kprogram goal -> [ "program"; name; "goal"; goal ]
+          | Kviews -> [ "views"; name ]
+          | Kinstance -> [ "instance"; name ]
+        in
+        [ r.id; "load" ] @ sess @ kind_part @ deadline @ [ ":"; text ]
+    | Eval { program; instance } ->
+        [ r.id; "eval" ] @ sess @ [ program; instance ] @ deadline
+    | Holds { program; instance; tuple } ->
+        [ r.id; "holds" ] @ sess
+        @ [ program; instance; "(" ^ String.concat "," tuple ^ ")" ]
+        @ deadline
+    | Mondet_test { program; views; depth } ->
+        [ r.id; "mondet-test" ] @ sess @ [ program; views ]
+        @ opt_kv "depth" depth @ deadline
+    | Certain_answers { program; views; instance } ->
+        [ r.id; "certain-answers" ] @ sess @ [ program; views; instance ]
+        @ deadline
+    | Rewrite_check { program; views; samples } ->
+        [ r.id; "rewrite-check" ] @ sess @ [ program; views ]
+        @ opt_kv "samples" samples @ deadline
+    | Stats -> [ r.id; "stats" ] @ deadline
+  in
+  String.concat " " parts
+
+let print_response (r : response) =
+  match r.result with
+  | Ok_ body ->
+      if body = "" then r.rid ^ " ok" else r.rid ^ " ok " ^ one_line body
+  | Error_ msg ->
+      if msg = "" then r.rid ^ " error" else r.rid ^ " error " ^ one_line msg
+  | Timeout -> r.rid ^ " timeout"
+
+(* ------------------------------------------------------------------ *)
+(* Parser. *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let word what w = if is_word w then w else bad "malformed %s %S" what w
+
+let int_value k v =
+  match int_of_string_opt v with
+  | Some n when n >= 0 -> n
+  | _ -> bad "option %s needs a non-negative integer, got %S" k v
+
+(* split trailing [key=value] options off a word list; unknown keys and
+   option words in the middle of positional arguments are errors *)
+let split_opts words =
+  let rec go acc = function
+    | [] -> (List.rev acc, [])
+    | w :: rest when String.contains w '=' ->
+        if List.exists (fun w' -> not (String.contains w' '=')) rest then
+          bad "option %S must come after positional arguments" w
+        else
+          ( List.rev acc,
+            List.map
+              (fun w ->
+                match String.index_opt w '=' with
+                | Some i ->
+                    (String.sub w 0 i,
+                     String.sub w (i + 1) (String.length w - i - 1))
+                | None -> assert false)
+              (w :: rest) )
+    | w :: rest -> go (w :: acc) rest
+  in
+  go [] words
+
+let take_opt opts k =
+  match List.assoc_opt k opts with
+  | None -> (None, opts)
+  | Some v -> (Some (int_value k v), List.remove_assoc k opts)
+
+let no_more_opts = function
+  | [] -> ()
+  | (k, _) :: _ -> bad "unknown option %S" k
+
+let parse_tuple w =
+  let n = String.length w in
+  if n < 2 || w.[0] <> '(' || w.[n - 1] <> ')' then
+    bad "malformed tuple %S (expected (c1,...,cn))" w
+  else
+    let inner = String.sub w 1 (n - 2) in
+    if inner = "" then []
+    else
+      List.map
+        (fun c -> word "tuple constant" c)
+        (String.split_on_char ',' inner)
+
+(* [parse_request line] either parses the line or reports (id, message)
+   where [id] is the line's first token (["-"] if there is none), so the
+   server can still address its error response. *)
+let parse_request line : (request, string * string) Stdlib.result =
+  let line = String.trim line in
+  let head, payload =
+    match
+      (* the payload separator is the first " : " word *)
+      let words = split_words line in
+      let rec split pre = function
+        | ":" :: rest -> Some (List.rev pre, String.concat " " rest)
+        | w :: rest -> split (w :: pre) rest
+        | [] -> None
+      in
+      split [] words
+    with
+    | Some (h, p) -> (h, Some p)
+    | None -> (split_words line, None)
+  in
+  let fallback_id = match head with w :: _ when is_word w -> w | _ -> "-" in
+  try
+    match head with
+    | [] -> Error ("-", "empty request")
+    | id :: rest ->
+        let id = word "request id" id in
+        let req =
+          match rest with
+          | "load" :: sess :: rest ->
+              let sess = word "session" sess in
+              let kind, name, rest =
+                match rest with
+                | "program" :: name :: "goal" :: goal :: rest ->
+                    (Kprogram (word "goal" goal), word "name" name, rest)
+                | "program" :: _ ->
+                    bad "load program needs: program NAME goal GOAL"
+                | "views" :: name :: rest -> (Kviews, word "name" name, rest)
+                | "instance" :: name :: rest ->
+                    (Kinstance, word "name" name, rest)
+                | k :: _ ->
+                    bad "unknown load kind %S (program|views|instance)" k
+                | [] -> bad "load needs a kind (program|views|instance)"
+              in
+              let pos, opts = split_opts rest in
+              if pos <> [] then bad "unexpected argument %S" (List.hd pos);
+              let deadline_ms, opts = take_opt opts "deadline" in
+              no_more_opts opts;
+              let text =
+                match payload with
+                | Some p -> p
+                | None -> bad "load needs a ' : ' payload"
+              in
+              { id; session = Some sess; deadline_ms;
+                verb = Load { kind; name; text } }
+          | verb :: _ when payload <> None ->
+              bad "verb %S takes no ' : ' payload" verb
+          | "eval" :: sess :: prog :: inst :: rest ->
+              let pos, opts = split_opts rest in
+              if pos <> [] then bad "unexpected argument %S" (List.hd pos);
+              let deadline_ms, opts = take_opt opts "deadline" in
+              no_more_opts opts;
+              { id; session = Some (word "session" sess); deadline_ms;
+                verb = Eval { program = word "program" prog;
+                              instance = word "instance" inst } }
+          | "holds" :: sess :: prog :: inst :: tup :: rest ->
+              let pos, opts = split_opts rest in
+              if pos <> [] then bad "unexpected argument %S" (List.hd pos);
+              let deadline_ms, opts = take_opt opts "deadline" in
+              no_more_opts opts;
+              { id; session = Some (word "session" sess); deadline_ms;
+                verb = Holds { program = word "program" prog;
+                               instance = word "instance" inst;
+                               tuple = parse_tuple tup } }
+          | "mondet-test" :: sess :: prog :: views :: rest ->
+              let pos, opts = split_opts rest in
+              if pos <> [] then bad "unexpected argument %S" (List.hd pos);
+              let depth, opts = take_opt opts "depth" in
+              let deadline_ms, opts = take_opt opts "deadline" in
+              no_more_opts opts;
+              { id; session = Some (word "session" sess); deadline_ms;
+                verb = Mondet_test { program = word "program" prog;
+                                     views = word "views" views; depth } }
+          | "certain-answers" :: sess :: prog :: views :: inst :: rest ->
+              let pos, opts = split_opts rest in
+              if pos <> [] then bad "unexpected argument %S" (List.hd pos);
+              let deadline_ms, opts = take_opt opts "deadline" in
+              no_more_opts opts;
+              { id; session = Some (word "session" sess); deadline_ms;
+                verb = Certain_answers { program = word "program" prog;
+                                         views = word "views" views;
+                                         instance = word "instance" inst } }
+          | "rewrite-check" :: sess :: prog :: views :: rest ->
+              let pos, opts = split_opts rest in
+              if pos <> [] then bad "unexpected argument %S" (List.hd pos);
+              let samples, opts = take_opt opts "samples" in
+              let deadline_ms, opts = take_opt opts "deadline" in
+              no_more_opts opts;
+              { id; session = Some (word "session" sess); deadline_ms;
+                verb = Rewrite_check { program = word "program" prog;
+                                       views = word "views" views; samples } }
+          | "stats" :: rest ->
+              let pos, opts = split_opts rest in
+              if pos <> [] then bad "unexpected argument %S" (List.hd pos);
+              let deadline_ms, opts = take_opt opts "deadline" in
+              no_more_opts opts;
+              { id; session = None; deadline_ms; verb = Stats }
+          | v :: _ -> bad "unknown verb %S" v
+          | [] -> bad "missing verb"
+        in
+        Ok req
+  with Bad msg -> Error (fallback_id, msg)
+
+let parse_response line : (response, string) Stdlib.result =
+  match split_words (String.trim line) with
+  | id :: "ok" :: body -> Ok { rid = id; result = Ok_ (String.concat " " body) }
+  | id :: "error" :: msg ->
+      Ok { rid = id; result = Error_ (String.concat " " msg) }
+  | [ id; "timeout" ] -> Ok { rid = id; result = Timeout }
+  | _ -> Error (Printf.sprintf "malformed response line %S" line)

@@ -1,0 +1,60 @@
+(** The mondet service wire protocol.
+
+    Line-oriented text: one request per line, exactly one response line
+    per request, in request order.
+
+    {v
+ID load SESSION program NAME goal GOAL [deadline=MS] : RULES
+ID load SESSION views NAME [deadline=MS] : RULES
+ID load SESSION instance NAME [deadline=MS] : FACTS
+ID eval SESSION PROG INST [deadline=MS]
+ID holds SESSION PROG INST (C1,...,Cn) [deadline=MS]
+ID mondet-test SESSION PROG VIEWS [depth=N] [deadline=MS]
+ID certain-answers SESSION PROG VIEWS INST [deadline=MS]
+ID rewrite-check SESSION PROG VIEWS [samples=N] [deadline=MS]
+ID stats [deadline=MS]
+    v}
+
+    The [load] payload after [" : "] uses the {!Parse} surface syntax.
+    Responses are [ID ok BODY], [ID error MESSAGE] or [ID timeout]. *)
+
+type kind = Kprogram of string (** the goal predicate *) | Kviews | Kinstance
+
+type verb =
+  | Load of { kind : kind; name : string; text : string }
+  | Eval of { program : string; instance : string }
+  | Holds of { program : string; instance : string; tuple : string list }
+  | Mondet_test of { program : string; views : string; depth : int option }
+  | Certain_answers of { program : string; views : string; instance : string }
+  | Rewrite_check of { program : string; views : string; samples : int option }
+  | Stats
+
+type request = {
+  id : string;
+  session : string option;  (** [None] exactly for [Stats] *)
+  deadline_ms : int option;
+  verb : verb;
+}
+
+type result = Ok_ of string | Error_ of string | Timeout
+
+type response = { rid : string; result : result }
+
+val is_word : string -> bool
+(** Valid id / session / object name: nonempty, over the surface
+    syntax's identifier characters plus ['-'], ['.']. *)
+
+val print_request : request -> string
+(** One line, no terminator.  [print_request] and [parse_request] are
+    mutually inverse on well-formed requests (the qcheck round-trip
+    property in [test/test_service.ml]). *)
+
+val print_response : response -> string
+(** One line; embedded newlines in bodies are flattened to spaces. *)
+
+val parse_request : string -> (request, string * string) Stdlib.result
+(** [Error (id, message)] on malformed input, where [id] is the line's
+    first token (["-"] if unusable) so the server can still address its
+    [error] response. *)
+
+val parse_response : string -> (response, string) Stdlib.result

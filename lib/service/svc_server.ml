@@ -1,0 +1,128 @@
+(* Server front-ends: a stdio loop and a Unix-domain-socket select
+   loop, plus the lockstep client used by the CLI and the CI smoke
+   test.  Both loops are single-threaded coordinators — concurrency
+   comes from Svc_service.handle_batch dispatching onto the domain
+   pool, not from threads per connection. *)
+
+let serve_channels service ic oc =
+  try
+    while true do
+      let line = input_line ic in
+      if String.trim line <> "" then (
+        let resp = Svc_service.handle_line service line in
+        output_string oc (Svc_proto.print_response resp);
+        output_char oc '\n';
+        flush oc)
+    done
+  with End_of_file -> ()
+
+let serve_stdio service = serve_channels service stdin stdout
+
+(* ------------------------------------------------------------------ *)
+
+type client = { fd : Unix.file_descr; buf : Buffer.t }
+
+let rec write_all fd s off len =
+  if len > 0 then
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* complete lines (sans terminator) and the unterminated remainder *)
+let take_lines buf =
+  let data = Buffer.contents buf in
+  match String.rindex_opt data '\n' with
+  | None -> []
+  | Some last ->
+      Buffer.clear buf;
+      Buffer.add_string buf
+        (String.sub data (last + 1) (String.length data - last - 1));
+      String.split_on_char '\n' (String.sub data 0 last)
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "")
+
+let serve_socket ?(max_clients = 64) ~path service =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock max_clients;
+  let clients = ref [] in
+  let scratch = Bytes.create 65536 in
+  let drop fd =
+    close_quietly fd;
+    clients := List.filter (fun c -> c.fd != fd) !clients
+  in
+  while true do
+    let fds = sock :: List.map (fun c -> c.fd) !clients in
+    let ready, _, _ =
+      try Unix.select fds [] [] (-1.0)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter
+      (fun fd ->
+        if fd == sock then (
+          let cfd, _ = Unix.accept sock in
+          clients := { fd = cfd; buf = Buffer.create 256 } :: !clients)
+        else
+          match List.find_opt (fun c -> c.fd == fd) !clients with
+          | None -> ()
+          | Some c -> (
+              let n =
+                try Unix.read fd scratch 0 (Bytes.length scratch)
+                with Unix.Unix_error _ -> 0
+              in
+              if n = 0 then drop fd
+              else (
+                Buffer.add_subbytes c.buf scratch 0 n;
+                (* all lines a client delivered in one wakeup form one
+                   batch: responses come back in order, misses overlap
+                   on the pool *)
+                match take_lines c.buf with
+                | [] -> ()
+                | lines -> (
+                    let resps = Svc_service.handle_lines service lines in
+                    let out =
+                      String.concat ""
+                        (List.map
+                           (fun r -> Svc_proto.print_response r ^ "\n")
+                           resps)
+                    in
+                    try write_all fd out 0 (String.length out)
+                    with Unix.Unix_error _ -> drop fd))))
+      ready
+  done
+
+(* ------------------------------------------------------------------ *)
+
+(* Lockstep client: send one line, await one response line, repeat.
+   Echoes responses to [oc]; returns the number of [error]/[timeout]
+   responses so scripted callers can exit nonzero. *)
+let client_socket ~path lines oc =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_UNIX path);
+  let sic = Unix.in_channel_of_descr sock in
+  let soc = Unix.out_channel_of_descr sock in
+  let bad = ref 0 in
+  (try
+     List.iter
+       (fun line ->
+         if String.trim line <> "" then (
+           output_string soc line;
+           output_char soc '\n';
+           flush soc;
+           let resp = input_line sic in
+           (match Svc_proto.parse_response resp with
+           | Ok { result = Svc_proto.Ok_ _; _ } -> ()
+           | Ok _ | Error _ -> incr bad);
+           output_string oc resp;
+           output_char oc '\n';
+           flush oc))
+       lines
+   with End_of_file ->
+     prerr_endline "client: server closed the connection";
+     incr bad);
+  close_quietly sock;
+  !bad

@@ -1,0 +1,24 @@
+(** Server front-ends over {!Svc_service}.
+
+    Both loops are single-threaded coordinators; concurrency comes from
+    {!Svc_service.handle_batch} dispatching cache-missed [eval]/[holds]
+    work onto the {!Dl_parallel} domain pool. *)
+
+val serve_stdio : Svc_service.t -> unit
+(** Read request lines from stdin, write one response line per request
+    to stdout (flushed per line), until EOF. *)
+
+val serve_channels : Svc_service.t -> in_channel -> out_channel -> unit
+(** {!serve_stdio} over explicit channels (for tests). *)
+
+val serve_socket : ?max_clients:int -> path:string -> Svc_service.t -> unit
+(** Listen on a Unix-domain socket at [path] (an existing file at that
+    path is removed first) and serve clients with a select loop.  All
+    complete lines a client delivers in one wakeup are handled as one
+    batch.  Never returns; the process is expected to be killed. *)
+
+val client_socket : path:string -> string list -> out_channel -> int
+(** Lockstep client: connect to [path], send each nonempty line and
+    await its response, echoing responses to the channel.  Returns the
+    number of non-[ok] responses (so scripted callers can exit
+    nonzero). *)

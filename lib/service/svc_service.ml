@@ -1,0 +1,436 @@
+(* Request dispatch: sessions + cache + deadlines + the domain pool.
+
+   Every request is handled in three steps: plan (resolve the session
+   objects and build a cache key and a compute thunk), look up the
+   cache, compute on a miss.  Only successful bodies are cached, so a
+   timeout or error never poisons the cache.
+
+   [handle_batch] preserves per-line order semantics while extracting
+   parallelism: a sequential planning pass executes loads and stats and
+   resolves every query verb against the session state *at its position
+   in the batch* (so a load followed by an eval of the loaded name works
+   within one batch); cache-missed [eval]/[holds] requests — the only
+   verbs whose evaluation allocates no fresh constants and is therefore
+   safe off the coordinating thread — are deduplicated by cache key,
+   grouped by instance (so no two domains race to build one instance's
+   lazy indexes), and run on the {!Dl_parallel} pool under the [Indexed]
+   strategy (workers must not re-enter the pool).  The remaining misses
+   run sequentially after the barrier, and all cache stores and counter
+   updates happen on the coordinating thread. *)
+
+open Svc_proto
+
+type t = {
+  sessions : (string, Svc_session.t) Hashtbl.t;
+  cache : Svc_cache.t;
+  parallel : bool; (* batch misses may use the domain pool *)
+  mutable requests : int;
+  mutable timeouts : int;
+}
+
+let create ?(cache_capacity = 512) ?(parallel = true) () =
+  {
+    sessions = Hashtbl.create 8;
+    cache = Svc_cache.create cache_capacity;
+    parallel;
+    requests = 0;
+    timeouts = 0;
+  }
+
+exception Reject of string
+
+let reject fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
+
+let session t n =
+  match Hashtbl.find_opt t.sessions n with
+  | Some s -> s
+  | None -> reject "unknown session %S" n
+
+let session_or_create t n =
+  match Hashtbl.find_opt t.sessions n with
+  | Some s -> s
+  | None ->
+      let s = Svc_session.create n in
+      Hashtbl.add t.sessions n s;
+      s
+
+(* session of a request; the protocol parser guarantees [Some] except
+   for [Stats] *)
+let req_session req =
+  match req.session with Some s -> s | None -> reject "missing session"
+
+(* ------------------------------------------------------------------ *)
+(* Canonical forms for cache keys.  [Datalog.pp_query] and
+   [Instance.pp] are deterministic (rules in order, fact sets sorted),
+   so structurally equal objects digest equally even when loaded under
+   different names or sessions. *)
+
+let query_repr q = Fmt.str "%a" Datalog.pp_query q
+let instance_repr i = Fmt.str "%a" Instance.pp i
+let views_repr vs = Fmt.str "%a" View.pp_collection vs
+let opt_repr = function None -> "-" | Some n -> string_of_int n
+
+(* ------------------------------------------------------------------ *)
+(* Verb bodies.  Each takes the cancellation token and (where evaluation
+   strategy matters) an optional engine override used by the batch pool. *)
+
+let eval_body ?strategy ~cancel q i =
+  if Datalog.goal_arity q = 0 then
+    if Dl_engine.holds_boolean ?strategy ~cancel q i then "true" else "false"
+  else
+    match Dl_engine.eval ?strategy ~cancel q i with
+    | [] -> "none"
+    | tuples ->
+        tuples
+        |> List.map (fun tup ->
+               String.concat ","
+                 (List.map Const.to_string (Array.to_list tup)))
+        |> List.sort_uniq compare
+        |> String.concat ";"
+
+let holds_body ?strategy ~cancel q i tuple =
+  let arity = Datalog.goal_arity q in
+  if List.length tuple <> arity then
+    reject "tuple has %d constants, goal arity is %d" (List.length tuple)
+      arity;
+  let tup = Array.of_list (List.map Const.named tuple) in
+  if Dl_engine.holds ?strategy ~cancel q i tup then "true" else "false"
+
+let mondet_body ?strategy ~cancel q vs depth =
+  match Md_decide.decide ?max_depth:depth ?engine:strategy ~cancel q vs with
+  | Md_decide.Determined -> "determined"
+  | Md_decide.Not_determined_cert _ -> "not-determined"
+  | Md_decide.Bounded_no_failure n -> Printf.sprintf "no-failure-up-to %d" n
+
+let certain_body ?strategy ~cancel q vs i =
+  if Md_separator.certain_answers_cq_views ?engine:strategy ~cancel q vs i
+  then "true"
+  else "false"
+
+(* fixed seed so rewrite-check is reproducible across runs and cache
+   hits are honest *)
+let rewrite_seed = 20260806
+
+let rewrite_body ?strategy ~cancel q vs samples =
+  if Datalog.goal_arity q <> 0 then
+    reject "rewrite-check needs a Boolean goal";
+  let n = Option.value samples ~default:8 in
+  let r = Md_rewrite.inverse_rules q vs in
+  let schema = Datalog.edb_schema q.Datalog.program in
+  let insts = Md_rewrite.random_instances ~n ~size:10 ~seed:rewrite_seed schema in
+  let rec go i = function
+    | [] -> Printf.sprintf "verified samples=%d" n
+    | inst :: rest ->
+        Dl_cancel.check cancel;
+        if
+          Dl_engine.holds_boolean ?strategy ~cancel q inst
+          = Dl_engine.holds_boolean ?strategy ~cancel r (View.image vs inst)
+        then go (i + 1) rest
+        else Printf.sprintf "failed sample=%d" i
+  in
+  go 0 insts
+
+let stats_body t =
+  Printf.sprintf
+    "hits=%d misses=%d entries=%d evictions=%d sessions=%d requests=%d \
+     timeouts=%d"
+    (Svc_cache.hits t.cache) (Svc_cache.misses t.cache)
+    (Svc_cache.entries t.cache)
+    (Svc_cache.evictions t.cache)
+    (Hashtbl.length t.sessions)
+    t.requests t.timeouts
+
+(* ------------------------------------------------------------------ *)
+(* Exception-to-result mapping.  Pure: no service state is touched, so
+   it is safe to run on a pool worker; counters are updated by the
+   coordinator from the returned result. *)
+
+let exec ~cancel f =
+  try
+    Dl_cancel.check cancel;
+    Ok_ (f ())
+  with
+  | Dl_cancel.Cancelled -> Timeout
+  | Reject m -> Error_ m
+  | Svc_session.Missing m -> Error_ m
+  | Parse.Error m -> Error_ ("parse error: " ^ m)
+  | Md_rewrite.Unsupported m | Md_decide.Unsupported m ->
+      Error_ ("unsupported: " ^ m)
+  | Invalid_argument m -> Error_ m
+  | Failure m -> Error_ m
+
+let cancel_of req =
+  match req.deadline_ms with
+  | None -> Dl_cancel.none
+  | Some ms -> Dl_cancel.with_deadline_ms ms
+
+(* ------------------------------------------------------------------ *)
+(* Planning: resolve a query verb against the current session state and
+   return the cache key, an instance-identity group tag, whether the
+   computation is safe on a pool worker, and the compute thunk. *)
+
+type plan = {
+  pkey : string;
+  pgroup : string; (* instance repr: pool tasks sharing it stay serial *)
+  pworker_safe : bool; (* eval/holds only: no fresh constants, no pool *)
+  pcompute : Dl_engine.strategy option -> string;
+}
+
+let plan t ~cancel req : plan =
+  let s = session t (req_session req) in
+  match req.verb with
+  | Eval { program; instance } ->
+      let q = Svc_session.program s program in
+      let i = Svc_session.instance s instance in
+      let qr = query_repr q and ir = instance_repr i in
+      {
+        pkey = Svc_cache.key [ "eval"; qr; ir ];
+        pgroup = ir;
+        pworker_safe = true;
+        pcompute = (fun strategy -> eval_body ?strategy ~cancel q i);
+      }
+  | Holds { program; instance; tuple } ->
+      let q = Svc_session.program s program in
+      let i = Svc_session.instance s instance in
+      let qr = query_repr q and ir = instance_repr i in
+      {
+        pkey = Svc_cache.key [ "holds"; qr; ir; String.concat "," tuple ];
+        pgroup = ir;
+        pworker_safe = true;
+        pcompute = (fun strategy -> holds_body ?strategy ~cancel q i tuple);
+      }
+  | Mondet_test { program; views; depth } ->
+      let q = Svc_session.program s program in
+      let vs = Svc_session.views s views in
+      {
+        pkey =
+          Svc_cache.key
+            [ "mondet-test"; query_repr q; views_repr vs; opt_repr depth ];
+        pgroup = "";
+        pworker_safe = false;
+        pcompute = (fun strategy -> mondet_body ?strategy ~cancel q vs depth);
+      }
+  | Certain_answers { program; views; instance } ->
+      let q = Svc_session.program s program in
+      let vs = Svc_session.views s views in
+      let i = Svc_session.instance s instance in
+      {
+        pkey =
+          Svc_cache.key
+            [ "certain-answers"; query_repr q; views_repr vs; instance_repr i ];
+        pgroup = "";
+        pworker_safe = false;
+        pcompute = (fun strategy -> certain_body ?strategy ~cancel q vs i);
+      }
+  | Rewrite_check { program; views; samples } ->
+      let q = Svc_session.program s program in
+      let vs = Svc_session.views s views in
+      {
+        pkey =
+          Svc_cache.key
+            [ "rewrite-check"; query_repr q; views_repr vs; opt_repr samples ];
+        pgroup = "";
+        pworker_safe = false;
+        pcompute = (fun strategy -> rewrite_body ?strategy ~cancel q vs samples);
+      }
+  | Load _ | Stats -> assert false (* handled before planning *)
+
+let do_load t sess kind name text =
+  let s = session_or_create t sess in
+  match kind with
+  | Kprogram goal ->
+      Svc_session.set_program s name (Parse.query ~goal text);
+      "loaded program " ^ name
+  | Kviews ->
+      Svc_session.set_views s name (Parse.views text);
+      "loaded views " ^ name
+  | Kinstance ->
+      Svc_session.set_instance s name (Parse.instance text);
+      "loaded instance " ^ name
+
+(* coordinator-side bookkeeping for one finished request *)
+let record t result =
+  (match result with Timeout -> t.timeouts <- t.timeouts + 1 | _ -> ());
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Single-request entry point (used by the stdio loop and the CLI's
+   one-shot [batch] fallback path). *)
+
+let handle t req : response =
+  t.requests <- t.requests + 1;
+  let cancel = cancel_of req in
+  let result =
+    match req.verb with
+    | Load { kind; name; text } ->
+        exec ~cancel (fun () -> do_load t (req_session req) kind name text)
+    | Stats -> exec ~cancel (fun () -> stats_body t)
+    | _ -> (
+        (* plan under [exec] too: a missing object or an instantly
+           expired deadline is decided before any evaluation *)
+        let planned = ref None in
+        match
+          exec ~cancel (fun () ->
+              planned := Some (plan t ~cancel req);
+              "")
+        with
+        | (Error_ _ | Timeout) as r -> r
+        | Ok_ _ -> (
+            let p = Option.get !planned in
+            match Svc_cache.find t.cache p.pkey with
+            | Some v -> Ok_ v
+            | None -> (
+                match exec ~cancel (fun () -> p.pcompute None) with
+                | Ok_ v ->
+                    Svc_cache.add t.cache p.pkey v;
+                    Ok_ v
+                | r -> r)))
+  in
+  { rid = req.id; result = record t result }
+
+(* ------------------------------------------------------------------ *)
+(* Batched entry point. *)
+
+type cell = {
+  cplan : plan;
+  ccancel : Dl_cancel.t;
+  mutable cout : Svc_proto.result option;
+}
+
+type slot =
+  | Done of Svc_proto.result
+  | Wait of cell (* shared by every request in the batch with this key *)
+
+let handle_batch t reqs : response list =
+  let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
+  let slots = Array.make n (Done (Error_ "unhandled")) in
+  let cells : (string, cell) Hashtbl.t = Hashtbl.create 16 in
+  (* sequential planning pass, in request order *)
+  for idx = 0 to n - 1 do
+    let req = reqs.(idx) in
+    t.requests <- t.requests + 1;
+    let cancel = cancel_of req in
+    match req.verb with
+    | Load { kind; name; text } ->
+        slots.(idx) <-
+          Done
+            (exec ~cancel (fun () -> do_load t (req_session req) kind name text))
+    | Stats -> slots.(idx) <- Done (exec ~cancel (fun () -> stats_body t))
+    | _ -> (
+        let planned = ref None in
+        match
+          exec ~cancel (fun () ->
+              planned := Some (plan t ~cancel req);
+              "")
+        with
+        | (Error_ _ | Timeout) as r -> slots.(idx) <- Done r
+        | Ok_ _ -> (
+            let p = Option.get !planned in
+            match Svc_cache.find t.cache p.pkey with
+            | Some v -> slots.(idx) <- Done (Ok_ v)
+            | None -> (
+                match Hashtbl.find_opt cells p.pkey with
+                | Some c -> slots.(idx) <- Wait c
+                | None ->
+                    let c = { cplan = p; ccancel = cancel; cout = None } in
+                    Hashtbl.add cells p.pkey c;
+                    slots.(idx) <- Wait c)))
+  done;
+  (* split the deduplicated misses into pool-safe and sequential work *)
+  let pooled, sequential =
+    Hashtbl.fold
+      (fun _ c (p, s) ->
+        if t.parallel && c.cplan.pworker_safe then (c :: p, s) else (p, c :: s))
+      cells ([], [])
+  in
+  (* group pool work by instance so one instance's lazy index caches are
+     only ever touched from one domain at a time *)
+  let groups : (string, cell list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      match Hashtbl.find_opt groups c.cplan.pgroup with
+      | Some l -> l := c :: !l
+      | None -> Hashtbl.add groups c.cplan.pgroup (ref [ c ]))
+    pooled;
+  let tasks =
+    Hashtbl.fold
+      (fun _ l acc ->
+        let cs = !l in
+        (fun () ->
+          List.iter
+            (fun c ->
+              (* Indexed on workers: the Parallel strategy would re-enter
+                 the pool the workers themselves run on *)
+              c.cout <-
+                Some
+                  (exec ~cancel:c.ccancel (fun () ->
+                       c.cplan.pcompute (Some Dl_engine.Indexed))))
+            cs)
+        :: acc)
+      groups []
+  in
+  Dl_parallel.run_tasks tasks;
+  (* remaining misses run on the coordinator with the default strategy *)
+  List.iter
+    (fun c ->
+      c.cout <-
+        Some (exec ~cancel:c.ccancel (fun () -> c.cplan.pcompute None)))
+    sequential;
+  (* store successes, count timeouts, emit responses in request order *)
+  Hashtbl.iter
+    (fun key c ->
+      match c.cout with
+      | Some (Ok_ v) -> Svc_cache.add t.cache key v
+      | _ -> ())
+    cells;
+  Array.to_list
+    (Array.mapi
+       (fun idx req ->
+         let result =
+           match slots.(idx) with
+           | Done r -> r
+           | Wait c -> (
+               match c.cout with
+               | Some r -> r
+               | None -> Error_ "internal: batch cell not computed")
+         in
+         { rid = req.id; result = record t result })
+       reqs)
+
+(* ------------------------------------------------------------------ *)
+(* Line-level entry points. *)
+
+let handle_line t line : response =
+  match parse_request line with
+  | Error (id, msg) ->
+      t.requests <- t.requests + 1;
+      { rid = id; result = Error_ msg }
+  | Ok req -> handle t req
+
+(* Parse errors keep their position in the output; parsed requests go
+   through [handle_batch] together. *)
+let handle_lines t lines : response list =
+  let parsed = List.map (fun l -> (l, parse_request l)) lines in
+  let reqs =
+    List.filter_map (function _, Ok r -> Some r | _ -> None) parsed
+  in
+  let handled = ref (handle_batch t reqs) in
+  List.map
+    (fun (_, p) ->
+      match p with
+      | Error (id, msg) ->
+          t.requests <- t.requests + 1;
+          { rid = id; result = Error_ msg }
+      | Ok _ -> (
+          match !handled with
+          | r :: rest ->
+              handled := rest;
+              r
+          | [] -> { rid = "-"; result = Error_ "internal: response underflow" }))
+    parsed
+
+let requests t = t.requests
+let timeouts t = t.timeouts
+let cache t = t.cache
+let sessions t = Hashtbl.length t.sessions

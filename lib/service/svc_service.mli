@@ -1,0 +1,56 @@
+(** Request dispatch for the decision service.
+
+    Owns the session store, the LRU result cache, and the per-request
+    deadline machinery.  One [t] serves one server process; all entry
+    points must be called from a single coordinating thread ({!
+    handle_batch} farms work out to the {!Dl_parallel} pool internally
+    but never lets workers touch the cache or the session store).
+
+    {2 Deadlines}
+
+    A request with [deadline=MS] gets a {!Dl_cancel} token expiring [MS]
+    milliseconds after handling starts.  The token is probed once before
+    any work (so [deadline=0] deterministically returns [timeout]), at
+    every semi-naive round boundary inside evaluation, at every chase
+    step inside the separator, and between rewrite-check samples.  A
+    timeout aborts only that request: the response is [ID timeout], the
+    cache is not written (only successes are cached), and the shared
+    evaluator caches stay consistent (see DESIGN.md on the
+    cancellation-token contract).
+
+    {2 Caching}
+
+    All query verbs ([eval], [holds], [mondet-test], [certain-answers],
+    [rewrite-check]) are cached under a digest of canonical
+    pretty-printed forms of the resolved objects — not their session
+    names — so reloading the same program under another name, or in
+    another session, still hits. *)
+
+type t
+
+val create : ?cache_capacity:int -> ?parallel:bool -> unit -> t
+(** [cache_capacity] defaults to 512 entries; [parallel] (default true)
+    lets {!handle_batch} dispatch cache-missed [eval]/[holds] requests
+    onto the {!Dl_parallel} domain pool. *)
+
+val handle : t -> Svc_proto.request -> Svc_proto.response
+(** Handle one request synchronously on the calling thread. *)
+
+val handle_batch : t -> Svc_proto.request list -> Svc_proto.response list
+(** Handle a batch, returning responses in request order.  Loads and
+    stats execute sequentially at their position (so later requests in
+    the batch see them); cache-missed [eval]/[holds] requests are
+    deduplicated and run concurrently on the domain pool. *)
+
+val handle_line : t -> string -> Svc_proto.response
+(** Parse one request line and handle it; a malformed line yields an
+    [error] response addressed to the line's first token. *)
+
+val handle_lines : t -> string list -> Svc_proto.response list
+(** {!handle_batch} at the line level, preserving malformed lines'
+    positions in the output. *)
+
+val requests : t -> int
+val timeouts : t -> int
+val sessions : t -> int
+val cache : t -> Svc_cache.t

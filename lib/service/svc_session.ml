@@ -1,0 +1,42 @@
+(* A named service session: the server-side store of loaded programs,
+   view collections and instances that requests refer to by name. *)
+
+type t = {
+  name : string;
+  programs : (string, Datalog.query) Hashtbl.t;
+  views : (string, View.collection) Hashtbl.t;
+  instances : (string, Instance.t) Hashtbl.t;
+}
+
+exception Missing of string
+
+let missing fmt = Printf.ksprintf (fun s -> raise (Missing s)) fmt
+
+let create name =
+  {
+    name;
+    programs = Hashtbl.create 8;
+    views = Hashtbl.create 8;
+    instances = Hashtbl.create 8;
+  }
+
+let name t = t.name
+
+let set_program t n q = Hashtbl.replace t.programs n q
+let set_views t n v = Hashtbl.replace t.views n v
+let set_instance t n i = Hashtbl.replace t.instances n i
+
+let program t n =
+  match Hashtbl.find_opt t.programs n with
+  | Some q -> q
+  | None -> missing "no program %S in session %S" n t.name
+
+let views t n =
+  match Hashtbl.find_opt t.views n with
+  | Some v -> v
+  | None -> missing "no views %S in session %S" n t.name
+
+let instance t n =
+  match Hashtbl.find_opt t.instances n with
+  | Some i -> i
+  | None -> missing "no instance %S in session %S" n t.name

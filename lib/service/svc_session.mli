@@ -1,0 +1,22 @@
+(** Named service sessions.
+
+    A session holds the programs, view collections and instances that
+    were [load]ed into it; query verbs refer to them by name.  Loads
+    replace silently (reload-to-update is the intended workflow). *)
+
+type t
+
+exception Missing of string
+(** Raised by the lookup functions; the message names the missing object
+    and the session. *)
+
+val create : string -> t
+val name : t -> string
+
+val set_program : t -> string -> Datalog.query -> unit
+val set_views : t -> string -> View.collection -> unit
+val set_instance : t -> string -> Instance.t -> unit
+
+val program : t -> string -> Datalog.query
+val views : t -> string -> View.collection
+val instance : t -> string -> Instance.t

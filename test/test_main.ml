@@ -14,4 +14,5 @@ let () =
       ("tiling", Test_tiling.suite);
       ("machine", Test_machine.suite);
       ("core", Test_core.suite);
+      ("service", Test_service.suite);
     ]

@@ -55,6 +55,57 @@ let test_errors () =
   raises "garbage" (fun () -> Parse.program "P(x) <- @");
   raises "ucq mixed heads" (fun () -> Parse.ucq "q(x) <- U(x). r(x) <- V(x).")
 
+(* error messages carry the 1-based line/column of the offending token *)
+let test_error_positions () =
+  let msg f =
+    match f () with
+    | exception Parse.Error m -> m
+    | _ -> Alcotest.fail "expected Parse.Error"
+  in
+  let starts_with prefix m =
+    check_bool
+      (Printf.sprintf "%S starts with %S" m prefix)
+      true
+      (String.length m >= String.length prefix
+      && String.sub m 0 (String.length prefix) = prefix)
+  in
+  starts_with "line 2, column 3: unexpected character"
+    (msg (fun () -> Parse.program "P(x) <-\n  @"));
+  starts_with "line 1, column 13: unterminated quote"
+    (msg (fun () -> Parse.rule "P(x) <- E(x,'b"));
+  starts_with "line 1, column 13: expected term, found ')'"
+    (msg (fun () -> Parse.rule "P(x) <- E(x,)"));
+  starts_with "line 1, column 16: trailing input at ')'"
+    (msg (fun () -> Parse.rule "P(x) <- E(x,y) )"));
+  starts_with "line 2, column 8: expected ',' or ')'"
+    (msg (fun () -> Parse.instance "E(a,b).\nE(a, b c)."))
+
+let test_views () =
+  let vs = Parse.views "V(x) <- U(x). W(x,y) <- E(x,y). W(x,y) <- E(y,x)." in
+  check_int "two views" 2 (List.length vs);
+  let names = List.map (fun v -> v.View.name) vs in
+  check_bool "names" true (List.sort compare names = [ "V"; "W" ]);
+  let w = List.find (fun v -> v.View.name = "W") vs in
+  (match w.View.def with
+  | View.Ucq_def u -> check_int "W is a 2-disjunct UCQ" 2 (List.length u.Ucq.disjuncts)
+  | _ -> Alcotest.fail "W should be a UCQ view");
+  (* a constant in a view head is a Parse.Error naming the view now (the
+     surface syntax can't produce one — Datalog.rule rejects head
+     constants — so exercise views_of_program on a hand-built rule) *)
+  let bad_rule =
+    {
+      Datalog.head = Cq.atom "V" [ Cq.Var "x"; Cq.Cst (Const.named "a") ];
+      body = [ Cq.atom "E" [ Cq.Var "x"; Cq.Var "y" ] ];
+    }
+  in
+  match Parse.views_of_program [ bad_rule ] with
+  | exception Parse.Error m ->
+      check_bool
+        (Printf.sprintf "%S names the view" m)
+        true
+        (String.length m >= 6 && String.sub m 0 6 = "view V")
+  | _ -> Alcotest.fail "expected Parse.Error for constant in view head"
+
 let suite =
   [
     Alcotest.test_case "rule" `Quick test_rule;
@@ -65,4 +116,6 @@ let suite =
     Alcotest.test_case "program" `Quick test_program;
     Alcotest.test_case "cq/ucq" `Quick test_cq_ucq;
     Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "error positions" `Quick test_error_positions;
+    Alcotest.test_case "views" `Quick test_views;
   ]

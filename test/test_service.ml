@@ -1,0 +1,400 @@
+(* Decision-service tests: protocol round-trips, the LRU cache,
+   cancellation tokens, golden request/response transcripts for every
+   verb, deadline behaviour, and a large mixed two-session workload
+   cross-checked against direct evaluation. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Golden transcripts: one fresh service, every verb, malformed lines,
+   an instantly-expired deadline — and the server answering after it. *)
+
+let golden =
+  [
+    ( "1 load s1 program tc goal T : T(x,y) <- E(x,y). T(x,y) <- E(x,z), \
+       T(z,y).",
+      "1 ok loaded program tc" );
+    ( "2 load s1 program reach goal Goal : Goal() <- T(x,y). T(x,y) <- \
+       E(x,y). T(x,y) <- E(x,z), T(z,y).",
+      "2 ok loaded program reach" );
+    ("3 load s1 views v : V(x,y) <- E(x,y).", "3 ok loaded views v");
+    ("4 load s1 instance i : E(a,b). E(b,c).", "4 ok loaded instance i");
+    ("5 load s1 instance vi : V(a,b). V(b,c).", "5 ok loaded instance vi");
+    ("6 eval s1 tc i", "6 ok a,b;a,c;b,c");
+    ("7 eval s1 reach i", "7 ok true");
+    ("8 holds s1 tc i (a,c)", "8 ok true");
+    ("9 holds s1 tc i (c,a)", "9 ok false");
+    ("10 eval s1 tc i", "10 ok a,b;a,c;b,c");
+    ("11 mondet-test s1 reach v", "11 ok no-failure-up-to 3");
+    ("12 mondet-test s1 reach v depth=2", "12 ok no-failure-up-to 1");
+    ("13 certain-answers s1 reach v vi", "13 ok true");
+    ("14 rewrite-check s1 reach v samples=5", "14 ok verified samples=5");
+    ( "15 stats",
+      "15 ok hits=1 misses=8 entries=8 evictions=0 sessions=1 requests=15 \
+       timeouts=0" );
+    (* malformed lines still get addressed error responses *)
+    ("16 bogus s1 x y", "16 error unknown verb \"bogus\"");
+    ("17 eval s1 tc", "17 error unknown verb \"eval\"");
+    ( "18 holds s1 tc i a,c",
+      "18 error malformed tuple \"a,c\" (expected (c1,...,cn))" );
+    ( "19 eval s1 tc i deadline=xx",
+      "19 error option deadline needs a non-negative integer, got \"xx\"" );
+    ("20 eval s1 nosuch i", "20 error no program \"nosuch\" in session \"s1\"");
+    ("21 eval nosession tc i", "21 error unknown session \"nosession\"");
+    ("22 holds s1 tc i (a)", "22 error tuple has 1 constants, goal arity is 2");
+    (* a zero deadline expires before any work, deterministically *)
+    ("23 eval s1 tc i deadline=0", "23 timeout");
+    (* ... and the server keeps answering, cache unpoisoned *)
+    ("24 eval s1 tc i", "24 ok a,b;a,c;b,c");
+    ( "25 stats",
+      "25 ok hits=2 misses=9 entries=8 evictions=0 sessions=1 requests=25 \
+       timeouts=1" );
+  ]
+
+let test_golden () =
+  let svc = Svc_service.create () in
+  List.iter
+    (fun (req, expected) ->
+      let resp = Svc_service.handle_line svc req in
+      check_string req expected (Svc_proto.print_response resp))
+    golden
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round-trip: printable requests parse back to themselves. *)
+
+let word_gen =
+  QCheck.Gen.(
+    let c = oneofl [ 'a'; 'b'; 'c'; 'x'; 'y'; 'Z'; '0'; '_'; '-' ] in
+    map
+      (fun l -> String.concat "" (List.map (String.make 1) l))
+      (list_size (int_range 1 6) c))
+
+let text_gen =
+  QCheck.Gen.oneofl
+    [
+      "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y).";
+      "E(a,b). E(b,c).";
+      "V(x) <- U(x). V(x) <- W(x).";
+      "Goal() <- T(x,y).";
+    ]
+
+let verb_gen =
+  QCheck.Gen.(
+    let opt_small = opt (int_bound 9) in
+    frequency
+      [
+        ( 2,
+          map3
+            (fun kind name text -> Svc_proto.Load { kind; name; text })
+            (oneof
+               [
+                 map (fun g -> Svc_proto.Kprogram g) word_gen;
+                 return Svc_proto.Kviews;
+                 return Svc_proto.Kinstance;
+               ])
+            word_gen text_gen );
+        ( 3,
+          map2
+            (fun program instance -> Svc_proto.Eval { program; instance })
+            word_gen word_gen );
+        ( 3,
+          map3
+            (fun program instance tuple ->
+              Svc_proto.Holds { program; instance; tuple })
+            word_gen word_gen
+            (list_size (int_bound 3) word_gen) );
+        ( 2,
+          map3
+            (fun program views depth ->
+              Svc_proto.Mondet_test { program; views; depth })
+            word_gen word_gen opt_small );
+        ( 2,
+          map3
+            (fun program views instance ->
+              Svc_proto.Certain_answers { program; views; instance })
+            word_gen word_gen word_gen );
+        ( 2,
+          map3
+            (fun program views samples ->
+              Svc_proto.Rewrite_check { program; views; samples })
+            word_gen word_gen opt_small );
+        (1, return Svc_proto.Stats);
+      ])
+
+let request_gen =
+  QCheck.Gen.(
+    verb_gen >>= fun verb ->
+    word_gen >>= fun id ->
+    word_gen >>= fun sess ->
+    opt (int_bound 999) >>= fun deadline_ms ->
+    let session =
+      match verb with Svc_proto.Stats -> None | _ -> Some sess
+    in
+    return { Svc_proto.id; session; deadline_ms; verb })
+
+let request_arb =
+  QCheck.make ~print:Svc_proto.print_request request_gen
+
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~name:"protocol request print/parse round-trip" ~count:500
+    request_arb (fun req ->
+      match Svc_proto.parse_request (Svc_proto.print_request req) with
+      | Ok req' -> req' = req
+      | Error (_, m) -> QCheck.Test.fail_reportf "parse failed: %s" m)
+
+let response_gen =
+  QCheck.Gen.(
+    word_gen >>= fun rid ->
+    let body = map (String.concat " ") (list_size (int_bound 4) word_gen) in
+    oneof
+      [
+        map (fun b -> { Svc_proto.rid; result = Svc_proto.Ok_ b }) body;
+        map (fun b -> { Svc_proto.rid; result = Svc_proto.Error_ b }) body;
+        return { Svc_proto.rid; result = Svc_proto.Timeout };
+      ])
+
+let qcheck_response_roundtrip =
+  QCheck.Test.make ~name:"protocol response print/parse round-trip" ~count:300
+    (QCheck.make ~print:Svc_proto.print_response response_gen) (fun resp ->
+      match Svc_proto.parse_response (Svc_proto.print_response resp) with
+      | Ok resp' -> resp' = resp
+      | Error m -> QCheck.Test.fail_reportf "parse failed: %s" m)
+
+(* ------------------------------------------------------------------ *)
+(* LRU cache unit tests. *)
+
+let test_cache_lru () =
+  let c = Svc_cache.create 2 in
+  Svc_cache.add c "a" "1";
+  Svc_cache.add c "b" "2";
+  check_bool "a miss before hit" true (Svc_cache.find c "zz" = None);
+  check_bool "a hits" true (Svc_cache.find c "a" = Some "1");
+  (* adding c evicts b (least recently used; a was refreshed) *)
+  Svc_cache.add c "c" "3";
+  check_int "entries at capacity" 2 (Svc_cache.entries c);
+  check_int "one eviction" 1 (Svc_cache.evictions c);
+  check_bool "b evicted" false (Svc_cache.mem c "b");
+  check_bool "a kept" true (Svc_cache.mem c "a");
+  check_bool "c kept" true (Svc_cache.mem c "c");
+  check_int "hits" 1 (Svc_cache.hits c);
+  (* find counted the zz miss *)
+  check_int "misses" 1 (Svc_cache.misses c);
+  (* re-adding an existing key refreshes without eviction *)
+  Svc_cache.add c "a" "1'";
+  check_int "still two entries" 2 (Svc_cache.entries c);
+  check_bool "updated" true (Svc_cache.find c "a" = Some "1'")
+
+(* ------------------------------------------------------------------ *)
+(* Cancellation tokens. *)
+
+let test_cancel () =
+  check_bool "none never cancelled" false (Dl_cancel.cancelled Dl_cancel.none);
+  Dl_cancel.cancel Dl_cancel.none;
+  check_bool "none immune to cancel" false
+    (Dl_cancel.cancelled Dl_cancel.none);
+  let t = Dl_cancel.token () in
+  check_bool "fresh token live" false (Dl_cancel.cancelled t);
+  Dl_cancel.cancel t;
+  check_bool "cancelled after cancel" true (Dl_cancel.cancelled t);
+  let d = Dl_cancel.with_deadline_ms 0 in
+  check_bool "zero deadline expired" true (Dl_cancel.cancelled d);
+  (match Dl_cancel.protect d (fun () -> Dl_cancel.check d) with
+  | Error `Cancelled -> ()
+  | Ok () -> Alcotest.fail "expected cancellation");
+  let far = Dl_cancel.with_deadline_ms 1_000_000 in
+  check_bool "far deadline live" false (Dl_cancel.cancelled far)
+
+(* a 1 ms deadline on a genuinely large fixpoint times out at a round
+   boundary, and the service keeps answering afterwards *)
+let test_deadline_large_fixpoint () =
+  let svc = Svc_service.create () in
+  let n = 400 in
+  let edges =
+    String.concat " "
+      (List.init (n - 1) (fun i -> Printf.sprintf "E(n%d,n%d)." i (i + 1)))
+  in
+  let feed line = Svc_proto.print_response (Svc_service.handle_line svc line) in
+  ignore
+    (feed
+       "1 load s program tc goal T : T(x,y) <- E(x,y). T(x,y) <- E(x,z), \
+        T(z,y).");
+  ignore (feed ("2 load s instance big : " ^ edges));
+  check_string "1ms deadline times out" "3 timeout"
+    (feed "3 eval s tc big deadline=1");
+  check_string "still answering" "4 ok true"
+    (feed "4 holds s tc big (n0,n3)");
+  check_int "timeout counted" 1 (Svc_service.timeouts svc)
+
+(* ------------------------------------------------------------------ *)
+(* Mixed two-session workload, batched through the domain-pool path,
+   cross-checked request by request against direct evaluation. *)
+
+let chain n =
+  String.concat " "
+    (List.init (n - 1) (fun i -> Printf.sprintf "E(m%d,m%d)." i (i + 1)))
+
+let cycle n =
+  String.concat " "
+    (List.init n (fun i -> Printf.sprintf "E(c%d,c%d)." i ((i + 1) mod n)))
+
+let tc_text = "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y)."
+let hop_text = "H(x,y) <- E(x,z), E(z,y)."
+
+let format_tuples q i =
+  let q_tuples = Dl_engine.eval ~strategy:Dl_engine.Indexed q i in
+  if Datalog.goal_arity q = 0 then if q_tuples <> [] then "true" else "false"
+  else
+    match q_tuples with
+    | [] -> "none"
+    | tuples ->
+        tuples
+        |> List.map (fun t ->
+               String.concat "," (List.map Const.to_string (Array.to_list t)))
+        |> List.sort_uniq compare
+        |> String.concat ";"
+
+let test_mixed_workload () =
+  let svc = Svc_service.create ~cache_capacity:256 ~parallel:true () in
+  let sessions = [ "s1"; "s2" ] in
+  let progs = [ ("tc", "T", tc_text); ("hop", "H", hop_text) ] in
+  let insts =
+    [
+      ("ch4", chain 4); ("ch6", chain 6); ("cy5", cycle 5); ("cy7", cycle 7);
+    ]
+  in
+  (* oracle objects, via the library directly (what the one-shot CLI
+     runs) *)
+  let oracle_q =
+    List.map (fun (pn, goal, text) -> (pn, Parse.query ~goal text)) progs
+  in
+  let oracle_i = List.map (fun (iname, text) -> (iname, Parse.instance text)) insts in
+  let expected_eval pn iname =
+    format_tuples (List.assoc pn oracle_q) (List.assoc iname oracle_i)
+  in
+  let expected_holds pn iname tuple =
+    let q = List.assoc pn oracle_q and i = List.assoc iname oracle_i in
+    if
+      Dl_engine.holds ~strategy:Dl_engine.Indexed q i
+        (Array.of_list (List.map Const.named tuple))
+    then "true"
+    else "false"
+  in
+  (* load everything into both sessions *)
+  let loads =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun (pn, goal, text) ->
+            Printf.sprintf "l-%s-%s load %s program %s goal %s : %s" s pn s pn
+              goal text)
+          progs
+        @ List.map
+            (fun (iname, text) ->
+              Printf.sprintf "l-%s-%s load %s instance %s : %s" s iname s
+                iname text)
+            insts)
+      sessions
+  in
+  List.iter
+    (fun line ->
+      match (Svc_service.handle_line svc line).Svc_proto.result with
+      | Svc_proto.Ok_ _ -> ()
+      | r ->
+          Alcotest.failf "load failed: %s -> %s" line
+            (Svc_proto.print_response { Svc_proto.rid = "x"; result = r }))
+    loads;
+  (* the mixed request stream: eval + holds per (session, program,
+     instance), interleaved across both sessions, repeated; every round
+     after the first hits the cache *)
+  let tuples_for iname =
+    if String.length iname >= 2 && iname.[0] = 'c' && iname.[1] = 'h' then
+      [ [ "m0"; "m1" ]; [ "m1"; "m0" ] ]
+    else [ [ "c0"; "c0" ]; [ "c0"; "missing" ] ]
+  in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "q%d" !counter
+  in
+  let round_lines () =
+    List.concat_map
+      (fun (pn, _, _) ->
+        List.concat_map
+          (fun (iname, _) ->
+            List.concat_map
+              (fun s ->
+                ( Printf.sprintf "%s eval %s %s %s" (fresh ()) s pn iname,
+                  "ok " ^ expected_eval pn iname )
+                :: List.map
+                     (fun tuple ->
+                       ( Printf.sprintf "%s holds %s %s %s (%s)" (fresh ()) s
+                           pn iname
+                           (String.concat "," tuple),
+                         "ok " ^ expected_holds pn iname tuple ))
+                     (tuples_for iname))
+              sessions)
+          insts)
+      progs
+  in
+  let rounds = 25 in
+  let total = ref (List.length loads) in
+  for _ = 1 to rounds do
+    let batch = round_lines () in
+    total := !total + List.length batch;
+    let responses = Svc_service.handle_lines svc (List.map fst batch) in
+    List.iter2
+      (fun (line, expected_body) resp ->
+        let got =
+          match resp.Svc_proto.result with
+          | Svc_proto.Ok_ b -> "ok " ^ b
+          | Svc_proto.Error_ m -> "error " ^ m
+          | Svc_proto.Timeout -> "timeout"
+        in
+        check_string line expected_body got)
+      batch responses
+  done;
+  check_bool "at least 1000 requests" true (!total >= 1000);
+  check_int "requests counted" !total (Svc_service.requests svc);
+  check_int "no timeouts" 0 (Svc_service.timeouts svc);
+  let cache = Svc_service.cache svc in
+  check_bool "nonzero cache hit rate" true (Svc_cache.hits cache > 0);
+  check_bool "hits dominate after warmup" true
+    (Svc_cache.hits cache > Svc_cache.misses cache)
+
+(* malformed lines keep their position in handle_lines output *)
+let test_handle_lines_order () =
+  let svc = Svc_service.create ~parallel:false () in
+  let lines =
+    [
+      "1 load s program tc goal T : T(x,y) <- E(x,y).";
+      "2 load s instance i : E(a,b).";
+      "oops";
+      "3 eval s tc i";
+    ]
+  in
+  let out =
+    List.map Svc_proto.print_response (Svc_service.handle_lines svc lines)
+  in
+  check_bool "four responses" true (List.length out = 4);
+  check_string "malformed kept in place" "oops error missing verb"
+    (List.nth out 2);
+  check_string "eval after it" "3 ok a,b" (List.nth out 3)
+
+let qcheck =
+  List.map QCheck_alcotest.to_alcotest
+    [ qcheck_request_roundtrip; qcheck_response_roundtrip ]
+
+let suite =
+  [
+    Alcotest.test_case "golden transcript" `Quick test_golden;
+    Alcotest.test_case "cache lru" `Quick test_cache_lru;
+    Alcotest.test_case "cancel tokens" `Quick test_cancel;
+    Alcotest.test_case "deadline on large fixpoint" `Quick
+      test_deadline_large_fixpoint;
+    Alcotest.test_case "handle_lines order" `Quick test_handle_lines_order;
+    Alcotest.test_case "mixed workload (2 sessions, pool)" `Slow
+      test_mixed_workload;
+  ]
+  @ qcheck
