@@ -299,7 +299,27 @@ let service_tests =
           ignore (Svc_service.handle_lines svc lines);
           fun () -> ignore (Svc_service.handle_lines svc lines)))
   in
-  Test.make_grouped ~name:"service" [ cold; warm; batch ]
+  let key_digest n =
+    (* cache-key construction alone, at two instance sizes: fingerprint
+       keys are O(1) in the instance, so the two rows must coincide
+       (the legacy printed keys scaled linearly here) *)
+    Test.make ~name:(Printf.sprintf "key-digest-%d" n)
+      (Staged.stage
+         (let q =
+            Parse.query ~goal:"T"
+              "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y)."
+          in
+          let i =
+            Db.of_list
+              (List.init n (fun k -> Fact.make "E" [ node k; node (k + 1) ]))
+          in
+          fun () ->
+            ignore
+              (String.concat ":"
+                 [ "eval"; Datalog.fingerprint_hex q; Db.fingerprint_hex i ])))
+  in
+  Test.make_grouped ~name:"service"
+    [ cold; warm; batch; key_digest 32; key_digest 2048 ]
 
 (* ------------------------------------------------------------------ *)
 (* Parallel-engine probes: wide workloads (one fat join round, a long

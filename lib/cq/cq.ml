@@ -40,9 +40,24 @@ let const_of_var v = Const.named ("?" ^ v)
 
 let term_const = function Var v -> const_of_var v | Cst c -> c
 
+(* The canonical database is asked for over and over on the same query
+   value (containment tests, hom dualities, repeated Boolean checks), so
+   it is memoized under physical equality — instances are persistent, so
+   sharing one across callers is safe.  Coordinator-only, like
+   [Dl_eval]'s compiled-rule cache. *)
+let cdb_cache : (t * Instance.t) list ref = ref []
+
 let canonical_db q =
-  Instance.of_list
-    (List.map (fun a -> Fact.make a.rel (List.map term_const a.args)) q.body)
+  match List.find_opt (fun (q', _) -> q' == q) !cdb_cache with
+  | Some (_, db) -> db
+  | None ->
+      let db =
+        Instance.of_list
+          (List.map (fun a -> Fact.make a.rel (List.map term_const a.args)) q.body)
+      in
+      let keep = if List.length !cdb_cache >= 32 then [] else !cdb_cache in
+      cdb_cache := (q, db) :: keep;
+      db
 
 let head_consts q = List.map const_of_var q.head
 
@@ -59,9 +74,10 @@ let frozen_init q =
     Const.Map.empty (body_consts q)
 
 let of_instance ~head inst =
-  let var_of = function
-    | Const.Named s -> "n" ^ s
-    | Const.Fresh i -> "f" ^ string_of_int i
+  let var_of c =
+    match Const.name c with
+    | Some s -> "n" ^ s
+    | None -> "f" ^ Const.to_string c
   in
   let body =
     List.map

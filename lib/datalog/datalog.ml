@@ -182,6 +182,52 @@ let union q1 q2 g =
       ])
     g
 
+(* Structural fingerprint of a query: two independently seeded
+   position-sensitive folds over the goal, the rules in order, and every
+   atom's relation, arity and terms.  Structurally equal queries always
+   fingerprint equal; named constants hash by interned id, so the value
+   is process-local (same contract as Instance fingerprints). *)
+let fp_stream seed chash (q : query) =
+  let h = ref (Fp.mix (seed lxor Fp.string_hash q.goal)) in
+  let term t =
+    h :=
+      match t with
+      | Cq.Var v -> Fp.step !h (Fp.string_hash v)
+      | Cq.Cst c -> Fp.step (Fp.step !h 1) (chash c)
+  in
+  let atom (a : Cq.atom) =
+    h := Fp.step !h (Fp.string_hash a.rel);
+    h := Fp.step !h (List.length a.args);
+    List.iter term a.args
+  in
+  List.iter
+    (fun r ->
+      h := Fp.step !h (List.length r.body);
+      atom r.head;
+      List.iter atom r.body)
+    q.program;
+  !h
+
+(* Memoized under physical equality: sessions hand the same query value
+   to every request, so warm cache-key construction never re-traverses
+   the program (same pattern as Dl_eval's compiled-rule cache). *)
+let fp_cache : (query * (int * int)) list ref = ref []
+
+let fingerprint q =
+  match List.find_opt (fun (q', _) -> q' == q) !fp_cache with
+  | Some (_, v) -> v
+  | None ->
+      let v =
+        (fp_stream Fp.seed1 Const.hash q, fp_stream Fp.seed2 Const.hash2 q)
+      in
+      let keep = if List.length !fp_cache >= 32 then [] else !fp_cache in
+      fp_cache := (q, v) :: keep;
+      v
+
+let fingerprint_hex q =
+  let h1, h2 = fingerprint q in
+  Fp.hex h1 h2
+
 let pp_rule ppf r =
   Fmt.pf ppf "%a ← %a" Cq.pp_atom r.head
     Fmt.(list ~sep:comma Cq.pp_atom)

@@ -75,6 +75,16 @@ val union : query -> query -> string -> query
     IDB name clashes are the caller's responsibility (use
     {!rename_idbs}). *)
 
+val fingerprint : query -> int * int
+(** 126-bit structural fingerprint: structurally equal queries always
+    fingerprint equal, unequal fingerprints prove inequality.  Named
+    constants contribute their interned id, so values are process-local.
+    Memoized under physical equality of the query, so repeated calls on
+    a session-held query are O(1). *)
+
+val fingerprint_hex : query -> string
+(** 32-hex-digit rendering of {!fingerprint}. *)
+
 val pp_rule : rule Fmt.t
 val pp_program : program Fmt.t
 val pp_query : query Fmt.t

@@ -133,13 +133,18 @@ exception Stopped of Instance.t
 
 type cterm = Cslot of int | Cconst of Const.t
 
-type catom = { crel : string; cterms : cterm array }
+type catom = {
+  crel : string;
+  crid : Symtab.sym; (* interned [crel], cached at compile time *)
+  cterms : cterm array;
+}
 
 type crule = {
   nvars : int;
   cbody : catom array;
   chead : catom;
-  crels : string list; (* distinct body relations, for the relevance filter *)
+  crels : Symtab.sym list;
+      (* distinct body relation ids, for the relevance filter *)
 }
 
 let compile_rule (r : Datalog.rule) =
@@ -155,7 +160,11 @@ let compile_rule (r : Datalog.rule) =
   in
   let cterm = function Cq.Var v -> Cslot (slot v) | Cq.Cst c -> Cconst c in
   let catom (a : Cq.atom) =
-    { crel = a.rel; cterms = Array.of_list (List.map cterm a.args) }
+    {
+      crel = a.rel;
+      crid = Symtab.intern a.rel;
+      cterms = Array.of_list (List.map cterm a.args);
+    }
   in
   let cbody = Array.of_list (List.map catom r.body) in
   let chead = catom r.head in
@@ -164,8 +173,9 @@ let compile_rule (r : Datalog.rule) =
     cbody;
     chead;
     crels =
-      List.map (fun (a : Cq.atom) -> a.rel) r.body
-      |> List.sort_uniq String.compare;
+      Array.to_list cbody
+      |> List.map (fun a -> a.crid)
+      |> List.sort_uniq Int.compare;
   }
 
 (* Compiled programs are cached under physical equality: the constructors
@@ -188,7 +198,7 @@ let compile (p : Datalog.program) =
    relation if no position is bound); also reports the best bucket's
    position/constant so the caller can fetch exactly those candidates. *)
 let select_candidates (a : catom) env src =
-  match Instance.index src a.crel with
+  match Instance.index_id src a.crid with
   | None -> []
   | Some idx ->
       let best = ref (Index.size idx) and where = ref None in
@@ -209,7 +219,7 @@ let select_candidates (a : catom) env src =
       | Some (p, c) -> Index.lookup idx p c)
 
 let estimate_atom (a : catom) env src =
-  match Instance.index src a.crel with
+  match Instance.index_id src a.crid with
   | None -> 0
   | Some idx ->
       let best = ref (Index.size idx) in
@@ -299,16 +309,16 @@ let run_compiled (cr : crule) (sources : Instance.t array) on_match =
   in
   ignore (solve 0 0)
 
+(* The firing path builds the head's argument array directly and hands it
+   to the interned array constructor: one allocation, no list, no symbol
+   lookup — the head's relation id was cached at compile time. *)
 let chead_fact (cr : crule) env =
-  {
-    Fact.rel = cr.chead.crel;
-    args =
-      Array.map
-        (function
-          | Cslot s -> ( match env.(s) with Some c -> c | None -> assert false)
-          | Cconst _ -> assert false (* ruled out by Datalog.rule *))
-        cr.chead.cterms;
-  }
+  Fact.of_interned cr.chead.crid
+    (Array.map
+       (function
+         | Cslot s -> ( match env.(s) with Some c -> c | None -> assert false)
+         | Cconst _ -> assert false (* ruled out by Datalog.rule *))
+       cr.chead.cterms)
 
 let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
   Dl_cancel.check cancel;
@@ -339,11 +349,12 @@ let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
     let fresh = ref Instance.empty in
     List.iter
       (fun cr ->
-        if List.exists (fun r -> Instance.cardinal delta r > 0) cr.crels then begin
+        if List.exists (fun r -> Instance.cardinal_id delta r > 0) cr.crels
+        then begin
           let nb = Array.length cr.cbody in
           let sources = Array.make nb full in
           for j = 0 to nb - 1 do
-            if Instance.cardinal delta cr.cbody.(j).crel > 0 then begin
+            if Instance.cardinal_id delta cr.cbody.(j).crid > 0 then begin
               sources.(j) <- delta;
               run_compiled cr sources (derive cr full fresh);
               sources.(j) <- old

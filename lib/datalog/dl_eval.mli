@@ -61,13 +61,17 @@ val eval_naive : ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> Const.t a
 
 type cterm = Cslot of int | Cconst of Const.t
 
-type catom = { crel : string; cterms : cterm array }
+type catom = {
+  crel : string;
+  crid : Symtab.sym;  (** interned [crel], cached at compile time *)
+  cterms : cterm array;
+}
 
 type crule = {
   nvars : int;
   cbody : catom array;
   chead : catom;
-  crels : string list;  (** distinct body relations, sorted *)
+  crels : Symtab.sym list;  (** distinct body relation ids, sorted *)
 }
 
 val compile : Datalog.program -> crule list

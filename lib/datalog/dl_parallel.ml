@@ -195,7 +195,7 @@ let split_delta k delta =
 let prewarm body_rels insts =
   List.iter
     (fun inst ->
-      List.iter (fun r -> ignore (Instance.index inst r)) body_rels)
+      List.iter (fun r -> ignore (Instance.index_id inst r)) body_rels)
     insts
 
 (* One firing unit: body position [pos] of [rule] draws candidates from
@@ -213,17 +213,18 @@ let round_units ~first ~delta chunks rules =
         if first then
           units := { rule = cr; pos = -1; chunk = Instance.empty } :: !units
       end
-      else if List.exists (fun r -> Instance.cardinal delta r > 0) cr.crels
+      else if
+        List.exists (fun r -> Instance.cardinal_id delta r > 0) cr.crels
       then
         for j = 0 to nb - 1 do
           (* positions left of [j] match [old]; in the first round [old]
              is empty, so only [j = 0] can fire *)
           if (not (first && j > 0))
-             && Instance.cardinal delta cr.cbody.(j).crel > 0
+             && Instance.cardinal_id delta cr.cbody.(j).crid > 0
           then
             Array.iter
               (fun chunk ->
-                if Instance.cardinal chunk cr.cbody.(j).crel > 0 then
+                if Instance.cardinal_id chunk cr.cbody.(j).crid > 0 then
                   units := { rule = cr; pos = j; chunk } :: !units)
               chunks
         done)
@@ -234,7 +235,7 @@ let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
   Dl_cancel.check cancel;
   let rules = Dl_eval.compile p in
   let body_rels =
-    List.sort_uniq String.compare
+    List.sort_uniq Int.compare
       (List.concat_map (fun (cr : Dl_eval.crule) -> cr.crels) rules)
   in
   let pool = get_pool (domains ()) in

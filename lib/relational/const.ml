@@ -1,30 +1,40 @@
-type t = Named of string | Fresh of int
+(* Domain elements, interned to ints.
 
-let compare a b =
-  match (a, b) with
-  | Named x, Named y -> String.compare x y
-  | Fresh i, Fresh j -> Int.compare i j
-  | Named _, Fresh _ -> -1
-  | Fresh _, Named _ -> 1
+   A constant is a tagged symbol id: named constants are even
+   ([Symtab] id shifted left), fresh nulls are odd (counter shifted left,
+   low bit set).  Comparison, equality and hashing are therefore pure
+   integer arithmetic — no string is ever touched on the hot paths of
+   joins, homomorphism search, or set union.  The order is intern order
+   for named constants (deterministic per process for a fixed input
+   sequence), not lexicographic. *)
 
-let equal a b = compare a b = 0
+type t = int
 
-let hash = function
-  | Named s -> Hashtbl.hash (0, s)
-  | Fresh i -> Hashtbl.hash (1, i)
+let compare : t -> t -> int = Int.compare
+let equal : t -> t -> bool = Int.equal
+let hash (c : t) = Fp.mix c
+let hash2 (c : t) = Fp.mix (c lxor Fp.seed2)
 
-let named s = Named s
+let named s = Symtab.intern s lsl 1
 
-let counter = ref 0
+(* fresh-null generation must be race-free: decision procedures running on
+   the Dl_parallel domain pool (chase steps, rename_apart) may allocate
+   nulls concurrently *)
+let counter = Atomic.make 0
 
 let fresh () =
-  incr counter;
-  Fresh !counter
+  let i = 1 + Atomic.fetch_and_add counter 1 in
+  (i lsl 1) lor 1
 
-let fresh_reset () = counter := 0
-let is_fresh = function Fresh _ -> true | Named _ -> false
+let fresh_reset () = Atomic.set counter 0
 
-let to_string = function Named s -> s | Fresh i -> "_" ^ string_of_int i
+let is_fresh c = c land 1 = 1
+
+let name c = if is_fresh c then None else Some (Symtab.name (c asr 1))
+
+let to_string c =
+  if is_fresh c then "_" ^ string_of_int (c asr 1) else Symtab.name (c asr 1)
+
 let pp ppf c = Fmt.string ppf (to_string c)
 
 module Ord = struct

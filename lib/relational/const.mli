@@ -1,27 +1,46 @@
 (** Domain elements of database instances.
 
-    Elements are either named (coming from user input or canonical databases
-    of queries, where the name records the originating variable) or fresh
-    nulls generated during chase steps and inverse-rule applications. *)
+    Elements are either named (coming from user input or canonical
+    databases of queries, where the name records the originating variable)
+    or fresh nulls generated during chase steps and inverse-rule
+    applications.
 
-type t =
-  | Named of string  (** a user-visible constant *)
-  | Fresh of int  (** an anonymous null, identified by a unique integer *)
+    Constants are interned: a named constant is a dense {!Symtab} id, a
+    fresh null a tagged counter value, so {!compare}, {!equal} and {!hash}
+    are integer operations.  The total order is intern order, not
+    lexicographic — deterministic within a process for a fixed input
+    sequence, but not stable across processes. *)
+
+type t = private int
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
 val hash : t -> int
+(** Well-mixed structural hash (an avalanche of the interned id). *)
+
+val hash2 : t -> int
+(** A second hash stream independent of {!hash}, for 126-bit
+    fingerprints. *)
 
 val named : string -> t
-(** [named s] is the constant written [s]. *)
+(** [named s] is the constant written [s].  Interns [s] on first sight;
+    safe from any domain. *)
 
 val fresh : unit -> t
-(** [fresh ()] is a globally fresh null.  Freshness is per-process. *)
+(** [fresh ()] is a globally fresh null.  Freshness is per-process; the
+    counter is atomic, so concurrent callers on different domains always
+    receive distinct nulls. *)
 
 val fresh_reset : unit -> unit
-(** Reset the fresh-null counter.  Only for reproducible tests. *)
+(** Reset the fresh-null counter.  Only for reproducible tests, and only
+    when no other domain is generating nulls. *)
 
 val is_fresh : t -> bool
+
+val name : t -> string option
+(** The name of a named constant, [None] for a fresh null. *)
+
 val pp : t Fmt.t
 val to_string : t -> string
 

@@ -1,0 +1,27 @@
+(* Structural fingerprints: 63-bit avalanche mixing and order-independent
+   126-bit accumulators.
+
+   [mix] is a splitmix64-style finalizer truncated to OCaml's native int
+   (the multipliers are the usual constants with the top bit dropped so
+   the literals fit); overflow wraps, which is exactly what we want.  A
+   fingerprint is a pair of independent streams: sequences fold with
+   [step] (position-sensitive), sets sum the per-element pairs
+   (order-independent, so incremental add/remove is +/-). *)
+
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x1BF58476D1CE4E5B in
+  let z = (z lxor (z lsr 27)) * 0x14B82F63B169FD9 in
+  z lxor (z lsr 31)
+
+(* distinct odd seeds for the two streams *)
+let seed1 = 0x1E3779B97F4A7C15
+let seed2 = 0x2545F4914F6CDD1D
+
+let step acc x = mix ((acc * 0x100000001B3) lxor x)
+
+let string_hash s = Hashtbl.hash s
+(* [Hashtbl.hash] reads whole short strings (its limit is far above any
+   relation or variable name); fed through [step] it contributes a full
+   63-bit word. *)
+
+let hex h1 h2 = Printf.sprintf "%016x%016x" (h1 land max_int) (h2 land max_int)

@@ -1,0 +1,23 @@
+(** Fingerprint arithmetic: 63-bit mixing for structural hashes.
+
+    Fingerprints are pairs of independently seeded 63-bit streams
+    (~126 bits total), built either by folding {!step} over a sequence
+    (position-sensitive) or by summing per-element hashes (native-int
+    addition wraps, giving an order-independent set fingerprint that
+    supports O(1) incremental add and remove). *)
+
+val mix : int -> int
+(** Avalanche finalizer: every input bit affects every output bit. *)
+
+val step : int -> int -> int
+(** [step acc x] folds [x] into the running hash [acc], position-sensitively. *)
+
+val seed1 : int
+val seed2 : int
+(** Seeds for the two streams of a fingerprint pair. *)
+
+val string_hash : string -> int
+(** Full-string hash suitable as a [step] operand. *)
+
+val hex : int -> int -> string
+(** 32-hex-digit rendering of a fingerprint pair. *)

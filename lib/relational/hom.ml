@@ -50,11 +50,11 @@ let enumerate ?(init = Const.Map.empty) src dst yield =
       let best = ref k
       and best_bound = ref (bound_positions facts.(k) h)
       and best_cost = ref max_int in
-      best_cost := Instance.estimate_with dst facts.(k).Fact.rel !best_bound;
+      best_cost := Instance.estimate_with_id dst facts.(k).Fact.rid !best_bound;
       for j = k + 1 to n - 1 do
         if !best_cost > 0 then begin
           let b = bound_positions facts.(j) h in
-          let c = Instance.estimate_with dst facts.(j).Fact.rel b in
+          let c = Instance.estimate_with_id dst facts.(j).Fact.rid b in
           if c < !best_cost then begin
             best := j;
             best_bound := b;
@@ -64,7 +64,7 @@ let enumerate ?(init = Const.Map.empty) src dst yield =
       done;
       swap k !best;
       let f = facts.(k) in
-      let candidates = Instance.tuples_with dst f.Fact.rel !best_bound in
+      let candidates = Instance.tuples_with_id dst f.Fact.rid !best_bound in
       let rec try_tuples = function
         | [] -> true
         | tup :: tups ->

@@ -1,25 +1,34 @@
+(* Buckets hang off a hashtable specialized to interned constants: the
+   hash is an integer mix of the id, never a generic structural hash. *)
+module H = Hashtbl.Make (struct
+  type t = Const.t
+
+  let equal = Const.equal
+  let hash = Const.hash
+end)
+
 type bucket = { mutable n : int; mutable tups : Const.t array list }
 
 type t = {
   size : int;
   all : Const.t array list;
-  tables : (Const.t, bucket) Hashtbl.t array; (* one table per position *)
+  tables : bucket H.t array; (* one table per position *)
 }
 
 let build tuples =
   let arity = List.fold_left (fun m t -> max m (Array.length t)) 0 tuples in
-  let tables = Array.init arity (fun _ -> Hashtbl.create 16) in
+  let tables = Array.init arity (fun _ -> H.create 16) in
   let size =
     List.fold_left
       (fun k tup ->
         Array.iteri
           (fun p c ->
             let tbl = tables.(p) in
-            match Hashtbl.find_opt tbl c with
+            match H.find_opt tbl c with
             | Some b ->
                 b.n <- b.n + 1;
                 b.tups <- tup :: b.tups
-            | None -> Hashtbl.add tbl c { n = 1; tups = [ tup ] })
+            | None -> H.add tbl c { n = 1; tups = [ tup ] })
           tup;
         k + 1)
       0 tuples
@@ -43,13 +52,13 @@ let extend idx tuples =
         Array.init arity (fun p ->
             if p < Array.length idx.tables then begin
               let old = idx.tables.(p) in
-              let tbl = Hashtbl.create (max 16 (Hashtbl.length old)) in
-              Hashtbl.iter
-                (fun c b -> Hashtbl.add tbl c { n = b.n; tups = b.tups })
+              let tbl = H.create (max 16 (H.length old)) in
+              H.iter
+                (fun c b -> H.add tbl c { n = b.n; tups = b.tups })
                 old;
               tbl
             end
-            else Hashtbl.create 16)
+            else H.create 16)
       in
       let size =
         List.fold_left
@@ -57,11 +66,11 @@ let extend idx tuples =
             Array.iteri
               (fun p c ->
                 let tbl = tables.(p) in
-                match Hashtbl.find_opt tbl c with
+                match H.find_opt tbl c with
                 | Some b ->
                     b.n <- b.n + 1;
                     b.tups <- tup :: b.tups
-                | None -> Hashtbl.add tbl c { n = 1; tups = [ tup ] })
+                | None -> H.add tbl c { n = 1; tups = [ tup ] })
               tup;
             k + 1)
           idx.size tuples
@@ -73,9 +82,9 @@ let all idx = idx.all
 
 let count idx p c =
   if p < 0 || p >= Array.length idx.tables then 0
-  else match Hashtbl.find_opt idx.tables.(p) c with None -> 0 | Some b -> b.n
+  else match H.find_opt idx.tables.(p) c with None -> 0 | Some b -> b.n
 
 let lookup idx p c =
   if p < 0 || p >= Array.length idx.tables then []
   else
-    match Hashtbl.find_opt idx.tables.(p) c with None -> [] | Some b -> b.tups
+    match H.find_opt idx.tables.(p) c with None -> [] | Some b -> b.tups

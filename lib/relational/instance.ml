@@ -16,21 +16,52 @@ module Tuple = struct
 end
 
 module TS = Set.Make (Tuple)
-module M = Map.Make (String)
+module M = Map.Make (Int)
 
-(* Each relation carries its tuple set plus a lazily-built secondary index.
-   The index is derived data over the immutable [ts], so the mutable cache
-   is sound: any operation producing a different tuple set allocates a new
-   [rel] with an empty cache, while unchanged relations keep sharing theirs.
+(* Relations are keyed by their interned {!Symtab} id, so the per-fact map
+   lookups of [add]/[mem]/[union] are integer comparisons; the name is
+   recovered with [Symtab.name] on the cold paths that need it (printing,
+   schema, restriction by predicate).
+
+   Each relation carries its tuple set, the running fingerprint sums of
+   that set, and a lazily-built secondary index.  The index is derived
+   data over the immutable [ts], so the mutable cache is sound: any
+   operation producing a different tuple set allocates a new [rel] with an
+   empty cache, while unchanged relations keep sharing theirs.
 
    Invariant: every [rel] stored in the map has a non-empty tuple set, so
    [M.is_empty] ⇔ no facts and [M.bindings] lists exactly the non-empty
    relations. *)
-type rel = { ts : TS.t; mutable idx : Index.t option }
+type rel = {
+  ts : TS.t;
+  s1 : int; (* sum over tuples of Fact.tuple_hash, first stream *)
+  s2 : int; (* second stream; native addition wraps, order-independent *)
+  mutable idx : Index.t option;
+}
 
-type t = rel M.t
+(* The instance-level fingerprint [f1]/[f2] is the sum of the relation
+   sums: structurally equal instances always carry equal pairs (the sums
+   range over the same fact multiset), whatever sequence of adds, unions
+   and diffs produced them. *)
+type t = { rels : rel M.t; f1 : int; f2 : int }
 
-let mk ts = { ts; idx = None }
+let sums_of rid ts =
+  TS.fold
+    (fun tup (s1, s2) ->
+      let h1, h2 = Fact.tuple_hash rid tup in
+      (s1 + h1, s2 + h2))
+    ts (0, 0)
+
+let mk rid ts =
+  let s1, s2 = sums_of rid ts in
+  { ts; s1; s2; idx = None }
+
+(* recompute the instance sums from the relation sums: O(#relations) *)
+let wrap rels =
+  let f1, f2 =
+    M.fold (fun _ r (f1, f2) -> (f1 + r.s1, f2 + r.s2)) rels (0, 0)
+  in
+  { rels; f1; f2 }
 
 let index_of r =
   match r.idx with
@@ -40,165 +71,241 @@ let index_of r =
       r.idx <- Some i;
       i
 
-let empty = M.empty
+let empty = { rels = M.empty; f1 = 0; f2 = 0 }
 
 let add (f : Fact.t) t =
-  match M.find_opt f.rel t with
-  | None -> M.add f.rel (mk (TS.singleton f.args)) t
+  match M.find_opt f.rid t.rels with
+  | None ->
+      {
+        rels =
+          M.add f.rid { ts = TS.singleton f.args; s1 = f.h1; s2 = f.h2; idx = None } t.rels;
+        f1 = t.f1 + f.h1;
+        f2 = t.f2 + f.h2;
+      }
   | Some r ->
-      if TS.mem f.args r.ts then t else M.add f.rel (mk (TS.add f.args r.ts)) t
+      if TS.mem f.args r.ts then t
+      else
+        {
+          rels =
+            M.add f.rid
+              { ts = TS.add f.args r.ts; s1 = r.s1 + f.h1; s2 = r.s2 + f.h2; idx = None }
+              t.rels;
+          f1 = t.f1 + f.h1;
+          f2 = t.f2 + f.h2;
+        }
 
 let remove (f : Fact.t) t =
-  match M.find_opt f.rel t with
+  match M.find_opt f.rid t.rels with
   | None -> t
   | Some r ->
       if not (TS.mem f.args r.ts) then t
       else
         let ts = TS.remove f.args r.ts in
-        if TS.is_empty ts then M.remove f.rel t else M.add f.rel (mk ts) t
+        let rels =
+          if TS.is_empty ts then M.remove f.rid t.rels
+          else
+            M.add f.rid
+              { ts; s1 = r.s1 - f.h1; s2 = r.s2 - f.h2; idx = None }
+              t.rels
+        in
+        { rels; f1 = t.f1 - f.h1; f2 = t.f2 - f.h2 }
 
 let of_list fs = List.fold_left (fun t f -> add f t) empty fs
 let of_facts fs = Fact.Set.fold add fs empty
 let singleton f = add f empty
 
+(* iteration in relation-name order (as before interning), so [facts] and
+   [pp] stay deterministic and independent of intern order *)
+let sorted_rels t =
+  M.bindings t.rels
+  |> List.map (fun (rid, r) -> (Symtab.name rid, rid, r))
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
 let fold g t acc =
-  M.fold
-    (fun rel r acc ->
-      TS.fold (fun args acc -> g { Fact.rel; args } acc) r.ts acc)
-    t acc
+  List.fold_left
+    (fun acc (_, rid, r) ->
+      TS.fold (fun args acc -> g (Fact.of_interned rid args) acc) r.ts acc)
+    acc (sorted_rels t)
 
 let iter g t = fold (fun f () -> g f) t ()
 let facts t = List.rev (fold (fun f acc -> f :: acc) t [])
 let fact_set t = fold Fact.Set.add t Fact.Set.empty
 
 let mem (f : Fact.t) t =
-  match M.find_opt f.rel t with None -> false | Some r -> TS.mem f.args r.ts
+  match M.find_opt f.rid t.rels with
+  | None -> false
+  | Some r -> TS.mem f.args r.ts
 
-let size t = M.fold (fun _ r n -> n + TS.cardinal r.ts) t 0
-let is_empty t = M.is_empty t
+let size t = M.fold (fun _ r n -> n + TS.cardinal r.ts) t.rels 0
+let is_empty t = M.is_empty t.rels
 
 (* Incremental union: when one side subsumes the other, its whole [rel]
-   record — index cache included — is shared.  Otherwise the result reuses
-   the larger operand's cached index, extended with the smaller side's
-   novel tuples: the fixpoint and the chase union many small deltas into a
-   big accumulator, and this keeps its buckets warm instead of rebuilding
-   them per round. *)
+   record — index cache and fingerprint sums included — is shared.
+   Otherwise the result reuses the larger operand's record extended with
+   the smaller side's novel tuples: the cached index grows by
+   [Index.extend] and the fingerprint sums by the novel tuples' hashes,
+   so the fixpoint's big accumulator keeps warm buckets and an
+   up-to-date fingerprint instead of rebuilding either per round. *)
 let union a b =
-  M.union
-    (fun _ x y ->
-      if TS.subset y.ts x.ts then Some x
-      else if TS.subset x.ts y.ts then Some y
-      else
-        let big, small =
-          if TS.cardinal x.ts >= TS.cardinal y.ts then (x, y) else (y, x)
-        in
-        let r = mk (TS.union big.ts small.ts) in
-        (match big.idx with
-        | Some idx ->
-            r.idx <- Some (Index.extend idx (TS.elements (TS.diff small.ts big.ts)))
-        | None -> ());
-        Some r)
-    a b
+  wrap
+    (M.union
+       (fun rid x y ->
+         if TS.subset y.ts x.ts then Some x
+         else if TS.subset x.ts y.ts then Some y
+         else
+           let big, small =
+             if TS.cardinal x.ts >= TS.cardinal y.ts then (x, y) else (y, x)
+           in
+           let novel = TS.elements (TS.diff small.ts big.ts) in
+           let s1, s2 =
+             List.fold_left
+               (fun (s1, s2) tup ->
+                 let h1, h2 = Fact.tuple_hash rid tup in
+                 (s1 + h1, s2 + h2))
+               (big.s1, big.s2) novel
+           in
+           let r = { ts = TS.union big.ts small.ts; s1; s2; idx = None } in
+           (match big.idx with
+           | Some idx -> r.idx <- Some (Index.extend idx novel)
+           | None -> ());
+           Some r)
+       a.rels b.rels)
 
 let diff a b =
-  M.merge
-    (fun _ x y ->
-      match (x, y) with
-      | None, _ -> None
-      | Some x, None -> Some x
-      | Some x, Some y ->
-          let d = TS.diff x.ts y.ts in
-          if TS.is_empty d then None
-          else if TS.cardinal d = TS.cardinal x.ts then Some x
-          else Some (mk d))
-    a b
+  wrap
+    (M.merge
+       (fun rid x y ->
+         match (x, y) with
+         | None, _ -> None
+         | Some x, None -> Some x
+         | Some x, Some y ->
+             let d = TS.diff x.ts y.ts in
+             if TS.is_empty d then None
+             else if TS.cardinal d = TS.cardinal x.ts then Some x
+             else Some (mk rid d))
+       a.rels b.rels)
 
 let inter a b =
-  M.merge
-    (fun _ x y ->
-      match (x, y) with
-      | Some x, Some y ->
-          let i = TS.inter x.ts y.ts in
-          if TS.is_empty i then None else Some (mk i)
-      | _ -> None)
-    a b
+  wrap
+    (M.merge
+       (fun rid x y ->
+         match (x, y) with
+         | Some x, Some y ->
+             let i = TS.inter x.ts y.ts in
+             if TS.is_empty i then None else Some (mk rid i)
+         | _ -> None)
+       a.rels b.rels)
 
 let subset a b =
   M.for_all
-    (fun rel r ->
-      match M.find_opt rel b with
+    (fun rid r ->
+      match M.find_opt rid b.rels with
       | None -> false
       | Some r' -> TS.subset r.ts r'.ts)
-    a
+    a.rels
 
-let compare = M.compare (fun a b -> TS.compare a.ts b.ts)
-let equal a b = compare a b = 0
+let compare a b =
+  if a == b then 0
+  else M.compare (fun a b -> TS.compare a.ts b.ts) a.rels b.rels
 
-(* the no-empty-relation invariant makes the defensive filter unnecessary *)
-let relations t = M.bindings t |> List.map fst
+(* fingerprints are a sound fast negative: unequal pairs ⇒ unequal
+   instances (equal instances always carry equal sums) *)
+let equal a b = a.f1 = b.f1 && a.f2 = b.f2 && compare a b = 0
+
+let fingerprint t = (t.f1, t.f2)
+let fingerprint_hex t = Fp.hex t.f1 t.f2
+
+(* the no-empty-relation invariant makes a defensive filter unnecessary *)
+let relations t =
+  M.fold (fun rid _ acc -> Symtab.name rid :: acc) t.rels []
+  |> List.sort String.compare
+
+let find_rel t rel =
+  match Symtab.find_opt rel with
+  | None -> None
+  | Some rid -> M.find_opt rid t.rels
 
 let tuples t rel =
-  match M.find_opt rel t with None -> [] | Some r -> TS.elements r.ts
+  match find_rel t rel with None -> [] | Some r -> TS.elements r.ts
+
+let cardinal_id t rid =
+  match M.find_opt rid t.rels with None -> 0 | Some r -> TS.cardinal r.ts
 
 let cardinal t rel =
-  match M.find_opt rel t with None -> 0 | Some r -> TS.cardinal r.ts
+  match find_rel t rel with None -> 0 | Some r -> TS.cardinal r.ts
+
+let index_id t rid =
+  match M.find_opt rid t.rels with None -> None | Some r -> Some (index_of r)
 
 let index t rel =
-  match M.find_opt rel t with None -> None | Some r -> Some (index_of r)
+  match find_rel t rel with None -> None | Some r -> Some (index_of r)
 
 (* Pick the most selective bound position via the index, scan only its
    bucket, and filter the remaining bound positions. *)
+let tuples_with_rel r cs =
+  match cs with
+  | [] -> TS.elements r.ts
+  | [ (p, c) ] -> Index.lookup (index_of r) p c
+  | _ ->
+      let idx = index_of r in
+      let (bp, bc), _ =
+        List.fold_left
+          (fun ((_, bn) as best) (p, c) ->
+            let n = Index.count idx p c in
+            if n < bn then ((p, c), n) else best)
+          (List.hd cs, max_int)
+          cs
+      in
+      let rest =
+        List.filter (fun (p, c) -> p <> bp || not (Const.equal c bc)) cs
+      in
+      let ok tup =
+        List.for_all
+          (fun (p, c) -> p < Array.length tup && Const.equal tup.(p) c)
+          rest
+      in
+      List.filter ok (Index.lookup idx bp bc)
+
 let tuples_with t rel cs =
-  match M.find_opt rel t with
-  | None -> []
-  | Some r -> (
-      match cs with
-      | [] -> TS.elements r.ts
-      | [ (p, c) ] -> Index.lookup (index_of r) p c
-      | _ ->
-          let idx = index_of r in
-          let (bp, bc), _ =
-            List.fold_left
-              (fun ((_, bn) as best) (p, c) ->
-                let n = Index.count idx p c in
-                if n < bn then ((p, c), n) else best)
-              ((List.hd cs), max_int)
-              cs
-          in
-          let rest = List.filter (fun (p, c) -> p <> bp || not (Const.equal c bc)) cs in
-          let ok tup =
-            List.for_all
-              (fun (p, c) -> p < Array.length tup && Const.equal tup.(p) c)
-              rest
-          in
-          List.filter ok (Index.lookup idx bp bc))
+  match find_rel t rel with None -> [] | Some r -> tuples_with_rel r cs
+
+let tuples_with_id t rid cs =
+  match M.find_opt rid t.rels with None -> [] | Some r -> tuples_with_rel r cs
+
+let estimate_with_rel r cs =
+  let idx = index_of r in
+  List.fold_left
+    (fun acc (p, c) -> min acc (Index.count idx p c))
+    (Index.size idx) cs
 
 let estimate_with t rel cs =
-  match M.find_opt rel t with
-  | None -> 0
-  | Some r ->
-      let idx = index_of r in
-      List.fold_left
-        (fun acc (p, c) -> min acc (Index.count idx p c))
-        (Index.size idx) cs
+  match find_rel t rel with None -> 0 | Some r -> estimate_with_rel r cs
+
+let estimate_with_id t rid cs =
+  match M.find_opt rid t.rels with None -> 0 | Some r -> estimate_with_rel r cs
 
 let adom t =
-  fold (fun f s -> Const.Set.union (Fact.consts f) s) t Const.Set.empty
+  M.fold
+    (fun _ r s ->
+      TS.fold
+        (fun tup s -> Array.fold_left (fun s c -> Const.Set.add c s) s tup)
+        r.ts s)
+    t.rels Const.Set.empty
 
 let map h t = fold (fun f acc -> add (Fact.map h f) acc) t empty
-let restrict p t = M.filter (fun rel _ -> p rel) t
+
+let restrict p t = wrap (M.filter (fun rid _ -> p (Symtab.name rid)) t.rels)
 let restrict_schema s t = restrict (Schema.mem s) t
 
-let filter p t =
-  fold (fun f acc -> if p f then add f acc else acc) t empty
+let filter p t = fold (fun f acc -> if p f then add f acc else acc) t empty
 
 let schema t =
   M.fold
-    (fun rel r s ->
+    (fun rid r s ->
       match TS.choose_opt r.ts with
       | None -> s
-      | Some tup -> Schema.add rel (Array.length tup) s)
-    t Schema.empty
+      | Some tup -> Schema.add (Symtab.name rid) (Array.length tup) s)
+    t.rels Schema.empty
 
 let rename_apart t =
   let tbl = Hashtbl.create 16 in

@@ -1,7 +1,16 @@
 (** Database instances: finite sets of facts, indexed by relation name.
 
     Instances follow the paper's conventions: an instance is just a set of
-    facts; its active domain is the set of elements occurring in them. *)
+    facts; its active domain is the set of elements occurring in them.
+
+    Internally relations are keyed by interned {!Symtab} ids and every
+    instance carries an order-independent 126-bit structural fingerprint,
+    maintained incrementally by {!add}, {!remove} and {!union} (including
+    the warm index-extending union path) and recomputed per affected
+    relation by the set operations.  Structurally equal instances always
+    have equal fingerprints, however they were built; unequal fingerprints
+    prove inequality.  Fingerprints depend on intern order and fresh-null
+    identity, so they are only meaningful within one process. *)
 
 type t
 
@@ -29,8 +38,19 @@ val union : t -> t -> t
 val diff : t -> t -> t
 val inter : t -> t -> t
 val subset : t -> t -> bool
+
 val equal : t -> t -> bool
+(** Structural equality.  Unequal fingerprints reject in O(1); equal
+    fingerprints are confirmed structurally. *)
+
 val compare : t -> t -> int
+
+val fingerprint : t -> int * int
+(** The instance's structural fingerprint pair, in O(1). *)
+
+val fingerprint_hex : t -> string
+(** 32-hex-digit rendering of {!fingerprint}, in O(1) — cache keys over
+    instances cost the same whatever the instance size. *)
 
 val relations : t -> string list
 (** Relation names with at least one fact, sorted. *)
@@ -58,6 +78,20 @@ val estimate_with : t -> string -> (int * Const.t) list -> int
     lookups: the smallest bucket count among the bound positions, or the
     relation's cardinality when [cs] is empty.  Join planners use this to
     order atoms most-constrained-first. *)
+
+(** {2 Id-keyed access paths}
+
+    Variants of the relation-name accessors taking an interned {!Symtab}
+    id (e.g. {!Fact.rid} or a compiled rule's cached id) — the evaluator's
+    inner loops use these so no string is hashed or compared per lookup.
+    The string versions cost one symbol-table probe ({!Symtab.find_opt});
+    names never interned resolve to the empty relation without growing
+    the table. *)
+
+val cardinal_id : t -> Symtab.sym -> int
+val index_id : t -> Symtab.sym -> Index.t option
+val tuples_with_id : t -> Symtab.sym -> (int * Const.t) list -> Const.t array list
+val estimate_with_id : t -> Symtab.sym -> (int * Const.t) list -> int
 
 val adom : t -> Const.Set.t
 (** Active domain. *)

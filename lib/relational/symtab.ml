@@ -1,0 +1,61 @@
+(* Global, domain-safe symbol interning.
+
+   Both directions are immutable-once-published snapshots behind
+   [Atomic.t]s, so lookups of already-interned names — the hot path:
+   every [Const.named] and every string-keyed relation access — never
+   take a lock.  Only a first occurrence takes [lock], copies the
+   forward table, adds the binding, and publishes the copy; the handful
+   of distinct symbols a process ever sees makes the O(n) copy
+   irrelevant.  A published table/array is never mutated again, and an
+   id only ever reaches a reader through some happens-before edge (it
+   was interned first), so readers always observe fully written
+   entries. *)
+
+type sym = int
+
+let lock = Mutex.create ()
+
+let tbl : (string, int) Hashtbl.t Atomic.t =
+  Atomic.make (Hashtbl.create 1024)
+
+let names : string array Atomic.t = Atomic.make (Array.make 1024 "")
+let count = Atomic.make 0
+
+let size () = Atomic.get count
+
+let name id = (Atomic.get names).(id)
+
+let find_opt s = Hashtbl.find_opt (Atomic.get tbl) s
+
+let intern s =
+  match Hashtbl.find_opt (Atomic.get tbl) s with
+  | Some id -> id
+  | None ->
+      Mutex.lock lock;
+      (* re-probe: another domain may have interned [s] meanwhile *)
+      let cur = Atomic.get tbl in
+      let id =
+        match Hashtbl.find_opt cur s with
+        | Some id -> id
+        | None ->
+            let id = Atomic.get count in
+            let arr = Atomic.get names in
+            let arr =
+              if id < Array.length arr then arr
+              else begin
+                let a' = Array.make (2 * Array.length arr) "" in
+                Array.blit arr 0 a' 0 (Array.length arr);
+                a'
+              end
+            in
+            arr.(id) <- s;
+            (* publish the slot before the id becomes visible *)
+            Atomic.set names arr;
+            Atomic.set count (id + 1);
+            let tbl' = Hashtbl.copy cur in
+            Hashtbl.add tbl' s id;
+            Atomic.set tbl tbl';
+            id
+      in
+      Mutex.unlock lock;
+      id

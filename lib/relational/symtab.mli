@@ -1,0 +1,25 @@
+(** Global, domain-safe symbol table.
+
+    Maps relation names and named-constant strings to dense integer ids.
+    Ids are process-local and assigned in first-intern order; they are
+    never recycled.  All operations are safe to call from any domain:
+    lookups of already-interned names ({!intern} on a hit, {!find_opt},
+    {!name}) are lock-free reads of immutable copy-on-write snapshots;
+    only a first occurrence serializes on a mutex. *)
+
+type sym = int
+(** A dense id, [0 <= sym < size ()]. *)
+
+val intern : string -> sym
+(** The id of the given name, allocating a fresh one on first sight. *)
+
+val find_opt : string -> sym option
+(** The id of the given name if it was ever interned — a read-only probe
+    that never grows the table (lookups of never-seen relation names must
+    not allocate ids). *)
+
+val name : sym -> string
+(** The name behind an id.  O(1), lock-free. *)
+
+val size : unit -> int
+(** Number of interned symbols. *)

@@ -20,19 +20,31 @@
 
 open Svc_proto
 
+type key_mode = Fingerprint | Printed
+
 type t = {
   sessions : (string, Svc_session.t) Hashtbl.t;
   cache : Svc_cache.t;
   parallel : bool; (* batch misses may use the domain pool *)
+  key_mode : key_mode;
   mutable requests : int;
   mutable timeouts : int;
 }
 
-let create ?(cache_capacity = 512) ?(parallel = true) () =
+(* [MONDET_CACHE_KEY=printed] forces the legacy print-then-digest keys —
+   the differential oracle for the fingerprint keys. *)
+let default_key_mode () =
+  match Sys.getenv_opt "MONDET_CACHE_KEY" with
+  | Some s when String.lowercase_ascii (String.trim s) = "printed" -> Printed
+  | _ -> Fingerprint
+
+let create ?(cache_capacity = 512) ?(parallel = true) ?key_mode () =
   {
     sessions = Hashtbl.create 8;
     cache = Svc_cache.create cache_capacity;
     parallel;
+    key_mode =
+      (match key_mode with Some m -> m | None -> default_key_mode ());
     requests = 0;
     timeouts = 0;
   }
@@ -60,15 +72,47 @@ let req_session req =
   match req.session with Some s -> s | None -> reject "missing session"
 
 (* ------------------------------------------------------------------ *)
-(* Canonical forms for cache keys.  [Datalog.pp_query] and
-   [Instance.pp] are deterministic (rules in order, fact sets sorted),
-   so structurally equal objects digest equally even when loaded under
-   different names or sessions. *)
+(* Canonical forms for cache keys.
+
+   In the default [Fingerprint] mode a key is the verb joined with the
+   resolved objects' structural fingerprints — O(1) per request on the
+   warm path (instances carry theirs incrementally, programs and views
+   memoize theirs), independent of instance size, and structurally equal
+   objects still key equally across names and sessions.
+
+   [Printed] mode keeps the legacy scheme — digest the canonical
+   pretty-printed forms ([Datalog.pp_query] and [Instance.pp] are
+   deterministic: rules in order, fact sets sorted) — as a differential
+   oracle: both modes must produce the same hit/miss trace on any
+   workload, which the test suite checks. *)
 
 let query_repr q = Fmt.str "%a" Datalog.pp_query q
 let instance_repr i = Fmt.str "%a" Instance.pp i
 let views_repr vs = Fmt.str "%a" View.pp_collection vs
 let opt_repr = function None -> "-" | Some n -> string_of_int n
+
+let query_key t q =
+  match t.key_mode with
+  | Fingerprint -> Datalog.fingerprint_hex q
+  | Printed -> query_repr q
+
+let instance_key t i =
+  match t.key_mode with
+  | Fingerprint -> Instance.fingerprint_hex i
+  | Printed -> instance_repr i
+
+let views_key t vs =
+  match t.key_mode with
+  | Fingerprint -> View.fingerprint_hex vs
+  | Printed -> views_repr vs
+
+(* Fingerprint parts are fixed-width hex (only trailing parts vary in
+   length), so plain concatenation is already injective and the digest
+   step of the legacy scheme is dropped entirely. *)
+let cache_key t parts =
+  match t.key_mode with
+  | Fingerprint -> String.concat ":" parts
+  | Printed -> Svc_cache.key parts
 
 (* ------------------------------------------------------------------ *)
 (* Verb bodies.  Each takes the cancellation token and (where evaluation
@@ -171,7 +215,8 @@ let cancel_of req =
 
 type plan = {
   pkey : string;
-  pgroup : string; (* instance repr: pool tasks sharing it stay serial *)
+  pgroup : string;
+      (* instance fingerprint: pool tasks sharing it stay serial *)
   pworker_safe : bool; (* eval/holds only: no fresh constants, no pool *)
   pcompute : Dl_engine.strategy option -> string;
 }
@@ -182,20 +227,21 @@ let plan t ~cancel req : plan =
   | Eval { program; instance } ->
       let q = Svc_session.program s program in
       let i = Svc_session.instance s instance in
-      let qr = query_repr q and ir = instance_repr i in
       {
-        pkey = Svc_cache.key [ "eval"; qr; ir ];
-        pgroup = ir;
+        pkey = cache_key t [ "eval"; query_key t q; instance_key t i ];
+        pgroup = Instance.fingerprint_hex i;
         pworker_safe = true;
         pcompute = (fun strategy -> eval_body ?strategy ~cancel q i);
       }
   | Holds { program; instance; tuple } ->
       let q = Svc_session.program s program in
       let i = Svc_session.instance s instance in
-      let qr = query_repr q and ir = instance_repr i in
       {
-        pkey = Svc_cache.key [ "holds"; qr; ir; String.concat "," tuple ];
-        pgroup = ir;
+        pkey =
+          cache_key t
+            [ "holds"; query_key t q; instance_key t i;
+              String.concat "," tuple ];
+        pgroup = Instance.fingerprint_hex i;
         pworker_safe = true;
         pcompute = (fun strategy -> holds_body ?strategy ~cancel q i tuple);
       }
@@ -204,8 +250,8 @@ let plan t ~cancel req : plan =
       let vs = Svc_session.views s views in
       {
         pkey =
-          Svc_cache.key
-            [ "mondet-test"; query_repr q; views_repr vs; opt_repr depth ];
+          cache_key t
+            [ "mondet-test"; query_key t q; views_key t vs; opt_repr depth ];
         pgroup = "";
         pworker_safe = false;
         pcompute = (fun strategy -> mondet_body ?strategy ~cancel q vs depth);
@@ -216,8 +262,9 @@ let plan t ~cancel req : plan =
       let i = Svc_session.instance s instance in
       {
         pkey =
-          Svc_cache.key
-            [ "certain-answers"; query_repr q; views_repr vs; instance_repr i ];
+          cache_key t
+            [ "certain-answers"; query_key t q; views_key t vs;
+              instance_key t i ];
         pgroup = "";
         pworker_safe = false;
         pcompute = (fun strategy -> certain_body ?strategy ~cancel q vs i);
@@ -227,8 +274,9 @@ let plan t ~cancel req : plan =
       let vs = Svc_session.views s views in
       {
         pkey =
-          Svc_cache.key
-            [ "rewrite-check"; query_repr q; views_repr vs; opt_repr samples ];
+          cache_key t
+            [ "rewrite-check"; query_key t q; views_key t vs;
+              opt_repr samples ];
         pgroup = "";
         pworker_safe = false;
         pcompute = (fun strategy -> rewrite_body ?strategy ~cancel q vs samples);

@@ -21,17 +21,28 @@
     {2 Caching}
 
     All query verbs ([eval], [holds], [mondet-test], [certain-answers],
-    [rewrite-check]) are cached under a digest of canonical
-    pretty-printed forms of the resolved objects — not their session
-    names — so reloading the same program under another name, or in
-    another session, still hits. *)
+    [rewrite-check]) are cached under the resolved objects — not their
+    session names — so reloading the same program under another name, or
+    in another session, still hits.  By default the key composes the
+    objects' structural fingerprints ({!Instance.fingerprint_hex},
+    {!Datalog.fingerprint_hex}, {!View.fingerprint_hex}), making key
+    construction O(1) on the warm path, independent of instance size;
+    [Printed] mode keeps the legacy digest of canonical pretty-printed
+    forms as a differential oracle (both modes produce identical
+    hit/miss traces). *)
 
 type t
 
-val create : ?cache_capacity:int -> ?parallel:bool -> unit -> t
+type key_mode = Fingerprint | Printed
+(** Cache-key scheme, see the caching section above. *)
+
+val create :
+  ?cache_capacity:int -> ?parallel:bool -> ?key_mode:key_mode -> unit -> t
 (** [cache_capacity] defaults to 512 entries; [parallel] (default true)
     lets {!handle_batch} dispatch cache-missed [eval]/[holds] requests
-    onto the {!Dl_parallel} domain pool. *)
+    onto the {!Dl_parallel} domain pool.  [key_mode] defaults to
+    [Fingerprint] unless the environment variable [MONDET_CACHE_KEY] is
+    set to [printed]. *)
 
 val handle : t -> Svc_proto.request -> Svc_proto.response
 (** Handle one request synchronously on the calling thread. *)

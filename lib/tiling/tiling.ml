@@ -43,8 +43,8 @@ let tiling_of inst tp =
         (List.map
            (fun (a, b) ->
              let name =
-               match b with
-               | Const.Named s when String.length s > 5 -> String.sub s 5 (String.length s - 5)
+               match Const.name b with
+               | Some s when String.length s > 5 -> String.sub s 5 (String.length s - 5)
                | _ -> Fmt.str "%a" Const.pp b
              in
              (a, name))

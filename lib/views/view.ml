@@ -30,6 +30,31 @@ let def_as_datalog v =
         (fun g -> if String.equal g q.Datalog.goal then v.name else v.name ^ "$" ^ g)
         q
 
+(* Fingerprint of a collection: an order-sensitive fold of the views'
+   names and the structural fingerprints of their canonical Datalog
+   forms ([def_as_datalog] is deterministic).  Memoized under physical
+   equality of the collection — sessions reuse the stored list across
+   requests, so warm cache-key construction is O(1). *)
+let fp_cache : (collection * string) list ref = ref []
+
+let fingerprint_hex vs =
+  match List.find_opt (fun (vs', _) -> vs' == vs) !fp_cache with
+  | Some (_, v) -> v
+  | None ->
+      let h1, h2 =
+        List.fold_left
+          (fun (h1, h2) v ->
+            let f1, f2 = Datalog.fingerprint (def_as_datalog v) in
+            let n = Fp.string_hash v.name in
+            (Fp.step (Fp.step h1 n) f1, Fp.step (Fp.step h2 n) f2))
+          (Fp.mix Fp.seed1, Fp.mix Fp.seed2)
+          vs
+      in
+      let hex = Fp.hex h1 h2 in
+      let keep = if List.length !fp_cache >= 32 then [] else !fp_cache in
+      fp_cache := (vs, hex) :: keep;
+      hex
+
 let def_approximations ?max_depth ?max_count v =
   match v.def with
   | Cq_def q -> [ q ]
@@ -53,7 +78,8 @@ let eval v inst =
     | Ucq_def u -> Ucq.eval u inst
     | Datalog_def q -> Dl_engine.eval q inst
   in
-  List.map (fun t -> { Fact.rel = v.name; args = t }) tuples
+  let rid = Symtab.intern v.name in
+  List.map (fun t -> Fact.of_interned rid t) tuples
 
 let image vs inst =
   List.fold_left
@@ -94,8 +120,8 @@ let split_disconnected v =
       let comps = Gaifman.components g in
       let var_of_const c =
         (* inverse of Cq.const_of_var *)
-        match c with
-        | Const.Named s when String.length s > 0 && s.[0] = '?' ->
+        match Const.name c with
+        | Some s when String.length s > 0 && s.[0] = '?' ->
             Some (String.sub s 1 (String.length s - 1))
         | _ -> None
       in

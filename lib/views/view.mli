@@ -27,6 +27,13 @@ val def_as_datalog : t -> Datalog.query
 (** Any definition as a Datalog query whose goal is the view name.
     IDBs are renamed apart per view (prefixed with the view name). *)
 
+val fingerprint_hex : collection -> string
+(** 32-hex-digit structural fingerprint of the collection (names and
+    definitions, order-sensitive), with the same contract as
+    {!Datalog.fingerprint}: equal collections fingerprint equal,
+    process-local values, memoized under physical equality of the
+    list. *)
+
 val def_approximations :
   ?max_depth:int -> ?max_count:int -> t -> Cq.t list
 (** CQ approximations of the view definition (a single CQ for CQ views,

@@ -289,12 +289,121 @@ let prop_warm_union_index =
              <= Instance.estimate_with u rel cs)
         (Instance.relations u))
 
+(* ---------------------------------------------------------------- *)
+(* Structural fingerprints and the interning layer                    *)
+
+let prop_fp_structural =
+  (* the cache-key contract: fingerprint equality ⇔ structural equality
+     (the ⇐ direction is the maintained invariant; ⇒ would only fail on
+     a 126-bit collision, which these instances cannot produce) *)
+  QCheck.Test.make ~name:"fingerprint equality = structural equality"
+    ~count:200
+    (QCheck.pair instance_arb instance_arb)
+    (fun (a, b) ->
+      Instance.equal a b = (Instance.fingerprint a = Instance.fingerprint b))
+
+let prop_fp_union_order =
+  (* incrementally maintained fingerprints are history-independent:
+     either union order, and a cold rebuild from the fact list, all
+     yield the same pair *)
+  QCheck.Test.make ~name:"fingerprint independent of union order" ~count:120
+    (QCheck.pair instance_arb instance_arb)
+    (fun (a, b) ->
+      let u = Instance.union a b in
+      Instance.fingerprint u = Instance.fingerprint (Instance.union b a)
+      && Instance.fingerprint u
+         = Instance.fingerprint (Instance.of_list (Instance.facts u)))
+
+let prop_fp_warm_union =
+  (* the index-extending union path maintains the same fingerprint as
+     the cold path *)
+  QCheck.Test.make ~name:"fingerprint survives warm union" ~count:120
+    (QCheck.pair instance_arb instance_arb)
+    (fun (a, b) ->
+      List.iter (fun r -> ignore (Instance.index a r)) (Instance.relations a);
+      Instance.fingerprint (Instance.union a b)
+      = Instance.fingerprint (Instance.of_list (Instance.facts a @ Instance.facts b)))
+
+let prop_fp_add_remove =
+  (* add/remove round-trips restore the fingerprint exactly *)
+  QCheck.Test.make ~name:"fingerprint add/remove round-trip" ~count:120
+    (QCheck.pair instance_arb (QCheck.make fact_gen))
+    (fun (a, fct) ->
+      let fp = Instance.fingerprint a in
+      let added = Instance.add fct a in
+      let back =
+        if Instance.mem fct a then added else Instance.remove fct added
+      in
+      Instance.fingerprint back = fp
+      && (Instance.mem fct a
+         || Instance.fingerprint added <> fp))
+
+let test_fingerprint_hex () =
+  let a = i_of [ f "R" [ "a"; "b" ]; f "U" [ "a" ] ] in
+  Alcotest.(check int) "hex width" 32 (String.length (Instance.fingerprint_hex a));
+  Alcotest.(check int)
+    "empty hex width" 32
+    (String.length (Instance.fingerprint_hex Instance.empty));
+  check_bool "hex ≠ for ≠ instances" true
+    (Instance.fingerprint_hex a <> Instance.fingerprint_hex Instance.empty)
+
+let test_query_fingerprint () =
+  let q () =
+    Datalog.make
+      [
+        Datalog.rule
+          (Cq.atom "T" [ Cq.Var "x"; Cq.Var "y" ])
+          [ Cq.atom "E" [ Cq.Var "x"; Cq.Var "y" ] ];
+        Datalog.rule
+          (Cq.atom "T" [ Cq.Var "x"; Cq.Var "z" ])
+          [
+            Cq.atom "E" [ Cq.Var "x"; Cq.Var "y" ];
+            Cq.atom "T" [ Cq.Var "y"; Cq.Var "z" ];
+          ];
+      ]
+      "T"
+  in
+  let q1 = q () and q2 = q () in
+  check_bool "equal queries fingerprint equal" true
+    (Datalog.fingerprint q1 = Datalog.fingerprint q2);
+  check_bool "memoized call stable" true
+    (Datalog.fingerprint q1 = Datalog.fingerprint q1);
+  let q3 = Datalog.make (List.tl q1.Datalog.program) "T" in
+  check_bool "different program, different fingerprint" true
+    (Datalog.fingerprint q1 <> Datalog.fingerprint q3);
+  Alcotest.(check int) "hex width" 32 (String.length (Datalog.fingerprint_hex q1))
+
+(* [Const.fresh] must hand out globally distinct nulls even when several
+   domains allocate concurrently (chase steps on the pool do). *)
+let test_fresh_atomic_domains () =
+  let per_domain = 2000 and ndomains = 4 in
+  let gen () = Array.init per_domain (fun _ -> Const.fresh ()) in
+  let handles = List.init (ndomains - 1) (fun _ -> Domain.spawn gen) in
+  let mine = gen () in
+  let all = mine :: List.map Domain.join handles in
+  let tbl = Hashtbl.create (per_domain * ndomains) in
+  List.iter (Array.iter (fun c -> Hashtbl.replace tbl c ())) all;
+  check_int "all nulls distinct" (per_domain * ndomains) (Hashtbl.length tbl);
+  List.iter
+    (Array.iter (fun c -> check_bool "fresh is fresh" true (Const.is_fresh c)))
+    all
+
 let suite =
   suite
+  @ [
+      Alcotest.test_case "fingerprint hex" `Quick test_fingerprint_hex;
+      Alcotest.test_case "query fingerprint" `Quick test_query_fingerprint;
+      Alcotest.test_case "fresh nulls across domains" `Quick
+        test_fresh_atomic_domains;
+    ]
   @ List.map QCheck_alcotest.to_alcotest
       [
         prop_tuples_with_oracle;
         prop_estimate_upper_bound;
         prop_no_empty_relations;
         prop_warm_union_index;
+        prop_fp_structural;
+        prop_fp_union_order;
+        prop_fp_warm_union;
+        prop_fp_add_remove;
       ]

@@ -363,6 +363,98 @@ let test_mixed_workload () =
   check_bool "hits dominate after warmup" true
     (Svc_cache.hits cache > Svc_cache.misses cache)
 
+(* ------------------------------------------------------------------ *)
+(* Differential keying: a fingerprint-keyed service must behave
+   byte-for-byte like the legacy printed-key service — identical
+   responses and an identical hit/miss/entry/eviction trace — over the
+   same 1200-request mixed workload the pool test drives. *)
+
+let test_key_mode_differential () =
+  let mk key_mode =
+    Svc_service.create ~cache_capacity:256 ~parallel:true ~key_mode ()
+  in
+  let fp = mk Svc_service.Fingerprint and pr = mk Svc_service.Printed in
+  let sessions = [ "s1"; "s2" ] in
+  let progs = [ ("tc", "T", tc_text); ("hop", "H", hop_text) ] in
+  let insts =
+    [
+      ("ch4", chain 4); ("ch6", chain 6); ("cy5", cycle 5); ("cy7", cycle 7);
+    ]
+  in
+  let loads =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun (pn, goal, text) ->
+            Printf.sprintf "l-%s-%s load %s program %s goal %s : %s" s pn s pn
+              goal text)
+          progs
+        @ List.map
+            (fun (iname, text) ->
+              Printf.sprintf "l-%s-%s load %s instance %s : %s" s iname s
+                iname text)
+            insts)
+      sessions
+  in
+  List.iter
+    (fun line ->
+      let a = Svc_proto.print_response (Svc_service.handle_line fp line)
+      and b = Svc_proto.print_response (Svc_service.handle_line pr line) in
+      check_string ("load " ^ line) b a)
+    loads;
+  let tuples_for iname =
+    if String.length iname >= 2 && iname.[0] = 'c' && iname.[1] = 'h' then
+      [ [ "m0"; "m1" ]; [ "m1"; "m0" ] ]
+    else [ [ "c0"; "c0" ]; [ "c0"; "missing" ] ]
+  in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "q%d" !counter
+  in
+  let round_lines () =
+    List.concat_map
+      (fun (pn, _, _) ->
+        List.concat_map
+          (fun (iname, _) ->
+            List.concat_map
+              (fun s ->
+                Printf.sprintf "%s eval %s %s %s" (fresh ()) s pn iname
+                :: List.map
+                     (fun tuple ->
+                       Printf.sprintf "%s holds %s %s %s (%s)" (fresh ()) s pn
+                         iname
+                         (String.concat "," tuple))
+                     (tuples_for iname))
+              sessions)
+          insts)
+      progs
+  in
+  let trace svc =
+    let c = Svc_service.cache svc in
+    Printf.sprintf "hits=%d misses=%d entries=%d evictions=%d"
+      (Svc_cache.hits c) (Svc_cache.misses c) (Svc_cache.entries c)
+      (Svc_cache.evictions c)
+  in
+  let total = ref (List.length loads) in
+  for round = 1 to 25 do
+    let lines = round_lines () in
+    total := !total + List.length lines;
+    let ra =
+      List.map Svc_proto.print_response (Svc_service.handle_lines fp lines)
+    and rb =
+      List.map Svc_proto.print_response (Svc_service.handle_lines pr lines)
+    in
+    List.iter2 (check_string "same response") rb ra;
+    check_string
+      (Printf.sprintf "same cache trace after round %d" round)
+      (trace pr) (trace fp)
+  done;
+  check_bool "1200-request workload" true (!total >= 1200);
+  check_bool "hits dominate in both" true
+    (Svc_cache.hits (Svc_service.cache fp)
+     > Svc_cache.misses (Svc_service.cache fp))
+
 (* malformed lines keep their position in handle_lines output *)
 let test_handle_lines_order () =
   let svc = Svc_service.create ~parallel:false () in
@@ -396,5 +488,7 @@ let suite =
     Alcotest.test_case "handle_lines order" `Quick test_handle_lines_order;
     Alcotest.test_case "mixed workload (2 sessions, pool)" `Slow
       test_mixed_workload;
+    Alcotest.test_case "key modes agree (fingerprint vs printed)" `Slow
+      test_key_mode_differential;
   ]
   @ qcheck
