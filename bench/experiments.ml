@@ -421,6 +421,7 @@ let e16 () =
     | Svc_proto.Ok_ b -> b
     | Svc_proto.Error_ m -> failwith ("e16 setup: " ^ m)
     | Svc_proto.Timeout -> failwith "e16 setup: unexpected timeout"
+    | Svc_proto.Busy -> failwith "e16 setup: unexpected busy"
   in
   ignore
     (feed

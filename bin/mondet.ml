@@ -190,6 +190,120 @@ let socket_arg =
           "Serve on (resp. connect to) a Unix-domain socket at $(docv) \
            instead of stdio.")
 
+(* HOST:PORT (":PORT" and "*:PORT" bind every interface) *)
+let tcp_addr_of_string s =
+  match String.rindex_opt s ':' with
+  | None -> failwith (s ^ ": expected HOST:PORT")
+  | Some i ->
+      let host = String.sub s 0 i in
+      let port =
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+        with
+        | Some p when p >= 0 && p < 65536 -> p
+        | _ -> failwith (s ^ ": bad port")
+      in
+      let ip =
+        if host = "" || host = "*" then Unix.inet_addr_any
+        else
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            with Not_found -> failwith (host ^ ": unknown host"))
+      in
+      Unix.ADDR_INET (ip, port)
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Serve on (resp. connect to) a TCP address instead of stdio.  \
+           The server handles connections on a fixed pool of worker \
+           domains (see $(b,--workers)); $(b,:PORT) binds every \
+           interface, port $(b,0) picks an ephemeral port (printed on \
+           stderr).")
+
+let workers_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Connection worker domains for $(b,--tcp) (clamped to \
+           [1, 64]).  Each worker multiplexes its share of the \
+           connections; more workers than cores buys nothing.")
+
+let max_conns_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:
+          "Admission cap for $(b,--tcp): a connection arriving while \
+           $(docv) are active is answered $(b,- busy) and closed \
+           (shed, not queued).")
+
+let max_line_arg =
+  Arg.(
+    value
+    & opt int (1 lsl 20)
+    & info [ "max-line" ] ~docv:"BYTES"
+        ~doc:
+          "Per-request line cap for $(b,--tcp); longer lines are \
+           discarded as they stream in and answered with an error.")
+
+let quota_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "quota" ] ~docv:"N"
+        ~doc:
+          "Per-session request quota for $(b,--tcp): at most $(docv) \
+           requests per quota window (see $(b,--quota-window)); excess \
+           requests are answered $(b,busy) without being evaluated.")
+
+let quota_window_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "quota-window" ] ~docv:"SECONDS"
+        ~doc:"Length of the $(b,--quota) window (default 1s).")
+
+let cache_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-file" ] ~docv:"PATH"
+        ~doc:
+          "Persist the result cache: reload a snapshot from $(docv) on \
+           boot (ignored with a warning if invalid) and write one back \
+           on shutdown — EOF on stdio, SIGTERM/SIGINT on socket and TCP \
+           servers.  Snapshots carry the symbol table, so fingerprint \
+           keys stay valid across restarts.")
+
+(* Reload the snapshot before serving; a bad snapshot warns and serves
+   cold rather than refusing to boot. *)
+let load_cache_file service = function
+  | None -> ()
+  | Some path -> (
+      match Svc_persist.load path service with
+      | Ok 0 -> ()
+      | Ok n -> Printf.eprintf "mondet: reloaded %d cached entries\n%!" n
+      | Error m ->
+          Printf.eprintf "mondet: ignoring cache snapshot %s: %s\n%!" path m)
+
+let save_cache_file service = function
+  | None -> ()
+  | Some path -> Svc_persist.save path service
+
+(* Graceful shutdown: SIGTERM/SIGINT flip a flag the serve loops poll,
+   so the server closes its sockets and snapshots its cache instead of
+   dying mid-write. *)
+let install_stop_signals () =
+  let stop = Atomic.make false in
+  let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  (try Sys.set_signal Sys.sigterm handle with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint handle with Invalid_argument _ -> ());
+  fun () -> Atomic.get stop
+
 let cache_arg =
   Arg.(
     value
@@ -223,40 +337,74 @@ let script_arg =
         ~doc:"Request script, one request per line ($(b,-) for stdin).")
 
 let serve_cmd =
-  let run socket cache sequential engine domains verbose =
+  let run socket tcp cache sequential workers max_conns max_line quota
+      quota_window cache_file engine domains verbose =
     set_engine verbose engine domains;
     let service =
-      Svc_service.create ~cache_capacity:cache ~parallel:(not sequential) ()
+      Svc_service.create ~cache_capacity:cache ~parallel:(not sequential)
+        ?quota ~quota_window ()
     in
-    (match socket with
-    | None -> Svc_server.serve_stdio service
-    | Some path -> Svc_server.serve_socket ~path service);
-    `Ok ()
+    load_cache_file service cache_file;
+    match (socket, tcp) with
+    | Some _, Some _ -> `Error (true, "--socket and --tcp are exclusive")
+    | None, None ->
+        Svc_server.serve_stdio service;
+        save_cache_file service cache_file;
+        `Ok ()
+    | Some path, None ->
+        let stop = install_stop_signals () in
+        Svc_server.serve_socket ~stop ~path service;
+        save_cache_file service cache_file;
+        `Ok ()
+    | None, Some spec -> (
+        match tcp_addr_of_string spec with
+        | exception Failure m -> `Error (true, m)
+        | addr ->
+            let stop = install_stop_signals () in
+            let config = { Svc_tcp.workers; max_conns; max_line } in
+            Svc_tcp.serve ~stop
+              ~on_listen:(fun bound ->
+                match bound with
+                | Unix.ADDR_INET (ip, port) ->
+                    Printf.eprintf "mondet: serving on %s:%d\n%!"
+                      (Unix.string_of_inet_addr ip)
+                      port
+                | _ -> ())
+              config service addr;
+            save_cache_file service cache_file;
+            `Ok ())
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the decision service: named sessions of loaded \
-          programs/views/instances, an LRU result cache, per-request \
-          deadlines, and batch dispatch onto the domain pool.  Protocol: \
-          see lib/service/svc_proto.mli and the README.")
+          programs/views/instances, an LRU result cache (optionally \
+          persisted across restarts with $(b,--cache-file)), per-request \
+          deadlines, and — with $(b,--tcp) — concurrent connection \
+          handling on a fixed pool of worker domains with shed-not-queue \
+          admission control.  Protocol: see lib/service/svc_proto.mli \
+          and the README.")
     Term.(
       ret
-        (const run $ socket_arg $ cache_arg $ sequential_arg $ engine_arg
-       $ domains_arg $ verbose_arg))
+        (const run $ socket_arg $ tcp_arg $ cache_arg $ sequential_arg
+       $ workers_arg $ max_conns_arg $ max_line_arg $ quota_arg
+       $ quota_window_arg $ cache_file_arg $ engine_arg $ domains_arg
+       $ verbose_arg))
 
 let batch_cmd =
-  let run script cache sequential engine domains verbose =
+  let run script cache sequential cache_file engine domains verbose =
     set_engine verbose engine domains;
     let service =
       Svc_service.create ~cache_capacity:cache ~parallel:(not sequential) ()
     in
+    load_cache_file service cache_file;
     let lines =
       List.filter (fun l -> String.trim l <> "") (read_lines_of script)
     in
     List.iter
       (fun r -> print_endline (Svc_proto.print_response r))
       (Svc_service.handle_lines service lines);
+    save_cache_file service cache_file;
     `Ok ()
   in
   Cmd.v
@@ -268,35 +416,233 @@ let batch_cmd =
           responses print in request order.")
     Term.(
       ret
-        (const run $ script_arg $ cache_arg $ sequential_arg $ engine_arg
-       $ domains_arg $ verbose_arg))
+        (const run $ script_arg $ cache_arg $ sequential_arg $ cache_file_arg
+       $ engine_arg $ domains_arg $ verbose_arg))
 
 let client_cmd =
-  let socket_req =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "socket" ] ~docv:"PATH"
-          ~doc:"Unix-domain socket of a running $(b,mondet serve).")
-  in
   let strict =
     Arg.(
       value & flag
       & info [ "strict" ]
           ~doc:"Exit nonzero if any response is not $(b,ok).")
   in
-  let run socket strict script =
-    let lines = read_lines_of script in
-    let bad = Svc_server.client_socket ~path:socket lines stdout in
-    if strict && bad > 0 then `Error (false, string_of_int bad ^ " non-ok responses")
-    else `Ok ()
+  let run socket tcp strict script =
+    let addr =
+      match (socket, tcp) with
+      | Some path, None -> Ok (Unix.ADDR_UNIX path)
+      | None, Some spec -> (
+          match tcp_addr_of_string spec with
+          | addr -> Ok addr
+          | exception Failure m -> Error m)
+      | _ -> Error "exactly one of --socket or --tcp is required"
+    in
+    match addr with
+    | Error m -> `Error (true, m)
+    | Ok addr ->
+        let lines = read_lines_of script in
+        let bad = Svc_server.client ~addr lines stdout in
+        if strict && bad > 0 then
+          `Error (false, string_of_int bad ^ " non-ok responses")
+        else `Ok ()
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:
-         "Drive a running $(b,mondet serve --socket) in lockstep: send \
-          each script line, await and print its response.")
-    Term.(ret (const run $ socket_req $ strict $ script_arg))
+         "Drive a running $(b,mondet serve) ($(b,--socket) or $(b,--tcp)) \
+          in lockstep: send each script line, await and print its \
+          response.")
+    Term.(ret (const run $ socket_arg $ tcp_arg $ strict $ script_arg))
+
+(* ------------------------------------------------------------------ *)
+(* bench-serve: the load harness.  Runs the TCP server in-process on an
+   ephemeral loopback port, drives it with Svc_loadgen, verifies every
+   response against the sequential oracle, and optionally merges
+   latency rows into a mondet-bench/1 JSON trajectory. *)
+
+(* same row format Bench_json writes and bench_diff parses *)
+let read_bench_rows path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rows = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         match
+           Scanf.sscanf line " {\"name\": %S, \"ns_per_run\": %f" (fun n t ->
+               (n, t))
+         with
+         | row -> rows := row :: !rows
+         | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !rows
+  end
+
+let write_bench_rows path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  output_string oc "  \"schema\": \"mondet-bench/1\",\n";
+  output_string oc "  \"unit\": \"ns_per_run\",\n";
+  output_string oc "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, t) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %.2f}%s\n" name
+        t
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc
+
+(* replace matching rows in place, append the rest *)
+let merge_bench_rows path fresh =
+  let existing = read_bench_rows path in
+  let replaced =
+    List.map
+      (fun (n, t) ->
+        match List.assoc_opt n fresh with Some t' -> (n, t') | None -> (n, t))
+      existing
+  in
+  let appended =
+    List.filter (fun (n, _) -> not (List.mem_assoc n existing)) fresh
+  in
+  write_bench_rows path (replaced @ appended)
+
+let bench_serve_cmd =
+  let conns_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "c"; "conns" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let per_conn_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "n"; "requests" ] ~docv:"N"
+          ~doc:"Requests per connection (closed loop: one outstanding).")
+  in
+  let warm_flag =
+    Arg.(
+      value & flag
+      & info [ "warm" ]
+          ~doc:
+            "After the cold pass, run the identical workload again \
+             against the now-warm server and record a $(b,-warm) row.")
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"PATH"
+          ~doc:
+            "Merge the p50-latency rows into a mondet-bench/1 JSON file \
+             (rows with the same name are replaced, others kept), so \
+             bench_diff can gate them.")
+  in
+  let no_verify_flag =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"Skip the sequential-oracle byte-comparison pass.")
+  in
+  let run conns per_conn workers warm json_out no_verify =
+    (* PR3 caveat, restated where the numbers are produced: on one core
+       the concurrency rows measure multiplexing and scheduling
+       overhead, not parallel speedup *)
+    if Domain.recommended_domain_count () = 1 then
+      print_endline
+        "note: single core available — concurrency rows record \
+         scheduling/multiplexing overhead, not parallel speedup";
+    let service = Svc_service.create ~parallel:false () in
+    let stop = Atomic.make false in
+    let bound = ref None in
+    let mu = Mutex.create () in
+    let cv = Condition.create () in
+    let config =
+      { Svc_tcp.workers; max_conns = conns + 8; max_line = 1 lsl 20 }
+    in
+    let server =
+      Domain.spawn (fun () ->
+          Svc_tcp.serve
+            ~stop:(fun () -> Atomic.get stop)
+            ~on_listen:(fun a ->
+              Mutex.lock mu;
+              bound := Some a;
+              Condition.signal cv;
+              Mutex.unlock mu)
+            config service
+            (Unix.ADDR_INET (Unix.inet_addr_loopback, 0)))
+    in
+    Mutex.lock mu;
+    while !bound = None do
+      Condition.wait cv mu
+    done;
+    let addr = Option.get !bound in
+    Mutex.unlock mu;
+    let pass name =
+      let stats, exchanges =
+        Svc_loadgen.run ~addr ~conns ~per_conn ~verify:false ()
+      in
+      Printf.printf
+        "%s: %d requests over %d conns in %.2f s\n\
+        \  throughput %.1f req/s   p50 %.1f µs   p99 %.1f µs\n\
+        \  ok %d  busy %d  failed %d\n%!"
+        name stats.Svc_loadgen.total conns stats.Svc_loadgen.elapsed_s
+        stats.Svc_loadgen.throughput_rps
+        (stats.Svc_loadgen.p50_ns /. 1e3)
+        (stats.Svc_loadgen.p99_ns /. 1e3)
+        stats.Svc_loadgen.ok stats.Svc_loadgen.busy stats.Svc_loadgen.failed;
+      (name, stats, exchanges)
+    in
+    let cold = pass (Printf.sprintf "service/tcp-c%d" conns) in
+    let passes =
+      if warm then [ cold; pass (Printf.sprintf "service/tcp-c%d-warm" conns) ]
+      else [ cold ]
+    in
+    (* stop the server and join its domains before the oracle replay:
+       the join publishes every worker-side write *)
+    Atomic.set stop true;
+    Domain.join server;
+    let bad = ref 0 in
+    List.iter
+      (fun (name, stats, exchanges) ->
+        bad := !bad + stats.Svc_loadgen.failed + stats.Svc_loadgen.busy;
+        if not no_verify then begin
+          let mism = Svc_loadgen.verify_exchanges exchanges in
+          if mism > 0 then begin
+            Printf.printf "%s: %d responses differ from the oracle\n%!" name
+              mism;
+            bad := !bad + mism
+          end
+          else Printf.printf "%s: all responses match the oracle\n%!" name
+        end)
+      passes;
+    (match json_out with
+    | Some path ->
+        merge_bench_rows path
+          (List.map
+             (fun (name, stats, _) -> (name, stats.Svc_loadgen.p50_ns))
+             passes);
+        Printf.printf "merged %d row(s) into %s\n%!" (List.length passes) path
+    | None -> ());
+    if !bad > 0 then
+      `Error (false, Printf.sprintf "%d bad/mismatched responses" !bad)
+    else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:
+         "Load-test the TCP decision service in-process: N closed-loop \
+          connections drive a deterministic mixed workload \
+          (eval/holds/mondet-test over grid and diamond sessions), every \
+          response is verified byte-identical against a sequential \
+          in-process oracle, and throughput plus p50/p99 latency are \
+          reported (optionally merged into a bench JSON for the \
+          regression gate).")
+    Term.(
+      ret
+        (const run $ conns_arg $ per_conn_arg $ workers_arg $ warm_flag
+       $ json_out_arg $ no_verify_flag))
 
 let main =
   Cmd.group
@@ -306,7 +652,7 @@ let main =
           views (PODS 2020 reproduction).")
     [
       eval_cmd; md_cmd; rewrite_cmd; image_cmd; pebble_cmd; tiling_cmd;
-      serve_cmd; batch_cmd; client_cmd;
+      serve_cmd; batch_cmd; client_cmd; bench_serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

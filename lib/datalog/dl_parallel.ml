@@ -171,6 +171,31 @@ let run pool task =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Long-lived workers: a handle over [Domain.spawn]/[Domain.join] for
+   callers that need domains running their own loops for the life of a
+   server rather than sharing the epoch pool's batch discipline (the TCP
+   front-end's connection workers).  Kept here so every domain the
+   process ever spawns goes through one module — the count shares the
+   same clamp, and the pool/worker split stays visible in one place. *)
+
+type workers = { wdomains : unit Domain.t array }
+
+let spawn_workers n body =
+  let n = clamp n in
+  { wdomains = Array.init n (fun i -> Domain.spawn (fun () -> body i)) }
+
+let worker_count w = Array.length w.wdomains
+
+let join_workers w =
+  let err = ref None in
+  Array.iter
+    (fun d ->
+      try Domain.join d
+      with e -> if !err = None then err := Some e)
+    w.wdomains;
+  match !err with Some e -> raise e | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Round machinery. *)
 
 (* Split [delta] round-robin into at most [k] non-empty chunks.  Tiny

@@ -72,6 +72,31 @@ val holds : ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> Const.t array 
 val holds_boolean : ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> bool
 (** Goal-relation nonemptiness, early-stopping. *)
 
+(** {2 Long-lived workers}
+
+    The epoch pool above runs one batch at a time with the caller
+    participating; servers instead need domains that run their own
+    loops — connection multiplexers — for the whole process lifetime.
+    {!spawn_workers} is the handle for those: it shares the pool's
+    domain-count clamp but nothing else, and the two kinds compose
+    (a spawned worker must never call into the epoch pool — pool entry
+    points are coordinator-only). *)
+
+type workers
+
+val spawn_workers : int -> (int -> unit) -> workers
+(** [spawn_workers n body] spawns [n] domains (clamped to [1, 64]),
+    each running [body i] with its index [i].  The bodies run until
+    they return; arrange their termination yourself (a stop flag they
+    poll), then {!join_workers}. *)
+
+val worker_count : workers -> int
+(** The clamped number of spawned domains. *)
+
+val join_workers : workers -> unit
+(** Block until every worker body returns, then re-raise the first
+    exception any of them died with (after joining all). *)
+
 val run_tasks : (unit -> unit) list -> unit
 (** Drain independent tasks across the worker pool (the calling thread
     included), off a shared atomic counter; returns when all have run.

@@ -1,13 +1,15 @@
 (* Structurally-hashed LRU result cache.
 
    Keys are digests of canonical pretty-printed forms (see
-   {!Svc_cache.key}); values are the response bodies of successful
-   requests.  A doubly-linked list over the hash table's nodes keeps
-   recency order so both lookup and insert are O(1).
+   {!Svc_cache.key}) or fingerprint compositions; values are the
+   response bodies of successful requests.  A doubly-linked list over
+   the hash table's nodes keeps recency order so both lookup and insert
+   are O(1).
 
-   Not thread-safe: the service calls it from the coordinating thread
-   only — pooled batch work never touches the cache (results are stored
-   after the barrier). *)
+   Domain-safe: every operation holds the cache's own mutex, so the
+   concurrent TCP workers can share one cache.  Critical sections are a
+   handful of pointer swaps — nothing evaluates under the lock, so
+   contention stays negligible next to request handling. *)
 
 type node = {
   nkey : string;
@@ -18,6 +20,7 @@ type node = {
 
 type t = {
   capacity : int;
+  mu : Mutex.t;
   tbl : (string, node) Hashtbl.t;
   mutable head : node option; (* most recently used *)
   mutable tail : node option; (* least recently used *)
@@ -30,6 +33,7 @@ let create capacity =
   if capacity < 1 then invalid_arg "Svc_cache.create: capacity < 1";
   {
     capacity;
+    mu = Mutex.create ();
     tbl = Hashtbl.create 64;
     head = None;
     tail = None;
@@ -39,6 +43,10 @@ let create capacity =
   }
 
 let key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
@@ -52,35 +60,47 @@ let push_front t n =
   t.head <- Some n
 
 let find t k =
-  match Hashtbl.find_opt t.tbl k with
-  | Some n ->
-      t.hits <- t.hits + 1;
-      unlink t n;
-      push_front t n;
-      Some n.nvalue
-  | None ->
-      t.misses <- t.misses + 1;
-      None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some n ->
+          t.hits <- t.hits + 1;
+          unlink t n;
+          push_front t n;
+          Some n.nvalue
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
 
 let add t k v =
-  (match Hashtbl.find_opt t.tbl k with
-  | Some n ->
-      unlink t n;
-      Hashtbl.remove t.tbl k
-  | None -> ());
-  let n = { nkey = k; nvalue = v; prev = None; next = None } in
-  Hashtbl.replace t.tbl k n;
-  push_front t n;
-  if Hashtbl.length t.tbl > t.capacity then
-    match t.tail with
-    | Some last ->
-        unlink t last;
-        Hashtbl.remove t.tbl last.nkey;
-        t.evictions <- t.evictions + 1
-    | None -> ()
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.tbl k with
+      | Some n ->
+          unlink t n;
+          Hashtbl.remove t.tbl k
+      | None -> ());
+      let n = { nkey = k; nvalue = v; prev = None; next = None } in
+      Hashtbl.replace t.tbl k n;
+      push_front t n;
+      if Hashtbl.length t.tbl > t.capacity then
+        match t.tail with
+        | Some last ->
+            unlink t last;
+            Hashtbl.remove t.tbl last.nkey;
+            t.evictions <- t.evictions + 1
+        | None -> ())
 
-let mem t k = Hashtbl.mem t.tbl k
-let entries t = Hashtbl.length t.tbl
-let hits t = t.hits
-let misses t = t.misses
-let evictions t = t.evictions
+(* least-recent first, so replaying the fold through [add] reproduces
+   both contents and recency order — the snapshot format relies on it *)
+let fold_lru t f acc =
+  locked t (fun () ->
+      let rec go acc = function
+        | None -> acc
+        | Some n -> go (f n.nkey n.nvalue acc) n.prev
+      in
+      go acc t.tail)
+
+let mem t k = locked t (fun () -> Hashtbl.mem t.tbl k)
+let entries t = locked t (fun () -> Hashtbl.length t.tbl)
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let evictions t = locked t (fun () -> t.evictions)

@@ -1,12 +1,14 @@
 (** Structurally-hashed LRU result cache for the decision service.
 
     Maps digest keys (built with {!key} from canonical pretty-printed
-    forms of programs, goals and instances) to response bodies of
-    successful requests.  Bounded capacity with least-recently-used
-    eviction; O(1) lookup and insert.
+    forms of programs, goals and instances) or fingerprint-composed keys
+    to response bodies of successful requests.  Bounded capacity with
+    least-recently-used eviction; O(1) lookup and insert.
 
-    Not thread-safe — the service touches it from the coordinating
-    thread only; pooled batch workers never see it. *)
+    Domain-safe: every operation takes the cache's internal mutex, so
+    the concurrent TCP connection workers share one cache.  The critical
+    sections are pointer swaps only — no evaluation ever runs under the
+    lock. *)
 
 type t
 
@@ -26,6 +28,13 @@ val add : t -> string -> string -> unit
 
 val mem : t -> string -> bool
 (** Presence check without touching counters or recency. *)
+
+val fold_lru : t -> (string -> string -> 'a -> 'a) -> 'a -> 'a
+(** Fold over all bindings, least-recently-used first, holding the
+    cache lock for the whole traversal — so replaying the folded
+    sequence through {!add} reproduces contents and recency order
+    exactly (this is what the {!Svc_persist} snapshot does).  [f] must
+    not call back into the cache (the mutex is not reentrant). *)
 
 val entries : t -> int
 val hits : t -> int

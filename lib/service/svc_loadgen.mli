@@ -1,0 +1,54 @@
+(** Load generator for the TCP front-end.
+
+    Drives [conns] closed-loop connections (one outstanding request
+    each) from a single-threaded select loop against a running server,
+    using a deterministic mixed workload over a [grid] and a [diamond]
+    session, and verifies — via an in-process sequential oracle that
+    re-answers every exchanged request — that the concurrent server's
+    responses are byte-identical to single-client answers.  Reports
+    throughput and p50/p99 latency. *)
+
+val setup_lines : string list
+(** The session-setup loads; {!run} sends them over a throwaway
+    lockstep connection first.  Exposed so warm-cache harnesses can
+    pre-drive the same sessions. *)
+
+val request_line : conn:int -> seq:int -> string
+(** The deterministic workload: request [seq] of connection [conn].
+    Ids are globally unique (so cross-wired responses are detected);
+    verbs mix cached-hit [eval], distinct-key [holds], and the heavy
+    decision verbs across both sessions. *)
+
+type stats = {
+  conns : int;
+  total : int;  (** responses received *)
+  ok : int;
+  busy : int;
+  failed : int;  (** error/timeout responses, or connections cut short *)
+  mismatched : int;  (** responses that differ from the oracle's *)
+  elapsed_s : float;
+  throughput_rps : float;
+  p50_ns : float;
+  p99_ns : float;
+}
+
+val run :
+  addr:Unix.sockaddr ->
+  conns:int ->
+  per_conn:int ->
+  ?verify:bool ->
+  unit ->
+  stats * (string * string) list
+(** Run the workload: [per_conn] requests on each of [conns]
+    connections.  Returns the stats and every (request, response)
+    exchange in completion order.  [verify] (default true) replays the
+    exchanges through {!verify_exchanges} inline; pass [false] and call
+    it yourself after joining an in-process server's domains.  The
+    server must allow at least [conns + 1] connections (one extra for
+    setup) and have no session quota, or [busy] sheds will show up in
+    the counts. *)
+
+val verify_exchanges : (string * string) list -> int
+(** Replay (request, response) pairs through a fresh sequential
+    in-process service and return how many responses differ byte-wise
+    from the oracle's. *)

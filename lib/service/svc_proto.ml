@@ -23,6 +23,14 @@
      ID ok BODY
      ID error MESSAGE
      ID timeout
+     ID busy
+
+   [busy] is the load-shedding verdict: the server refused to do the
+   work (admission control over the connection budget, or a per-session
+   request quota), and the client may retry later.  Unlike [error] it
+   says nothing about the request itself.  A server shedding a whole
+   connection before reading any request addresses the response to the
+   placeholder id [-].
 *)
 
 type kind = Kprogram of string (* goal *) | Kviews | Kinstance
@@ -43,7 +51,7 @@ type request = {
   verb : verb;
 }
 
-type result = Ok_ of string | Error_ of string | Timeout
+type result = Ok_ of string | Error_ of string | Timeout | Busy
 
 type response = { rid : string; result : result }
 
@@ -109,6 +117,7 @@ let print_response (r : response) =
   | Error_ msg ->
       if msg = "" then r.rid ^ " error" else r.rid ^ " error " ^ one_line msg
   | Timeout -> r.rid ^ " timeout"
+  | Busy -> r.rid ^ " busy"
 
 (* ------------------------------------------------------------------ *)
 (* Parser. *)
@@ -287,4 +296,5 @@ let parse_response line : (response, string) Stdlib.result =
   | id :: "error" :: msg ->
       Ok { rid = id; result = Error_ (String.concat " " msg) }
   | [ id; "timeout" ] -> Ok { rid = id; result = Timeout }
+  | [ id; "busy" ] -> Ok { rid = id; result = Busy }
   | _ -> Error (Printf.sprintf "malformed response line %S" line)

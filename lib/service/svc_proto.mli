@@ -16,7 +16,10 @@ ID stats [deadline=MS]
     v}
 
     The [load] payload after [" : "] uses the {!Parse} surface syntax.
-    Responses are [ID ok BODY], [ID error MESSAGE] or [ID timeout]. *)
+    Responses are [ID ok BODY], [ID error MESSAGE], [ID timeout] or
+    [ID busy].  [busy] is the load-shedding verdict — admission control
+    refused the connection, or a per-session request quota was exceeded;
+    the request itself may be perfectly fine and can be retried later. *)
 
 type kind = Kprogram of string (** the goal predicate *) | Kviews | Kinstance
 
@@ -36,7 +39,7 @@ type request = {
   verb : verb;
 }
 
-type result = Ok_ of string | Error_ of string | Timeout
+type result = Ok_ of string | Error_ of string | Timeout | Busy
 
 type response = { rid : string; result : result }
 

@@ -1,0 +1,55 @@
+(* Length-capped incremental line framing for socket connections.
+
+   Bytes arrive in arbitrary splits; the reader accumulates the current
+   line and emits complete items in arrival order.  A line longer than
+   the cap flips the reader into discard mode — the oversized prefix is
+   dropped immediately (memory stays bounded by the cap, whatever the
+   peer sends) and the eventual newline emits [Overlong] so the server
+   can answer with an error instead of silently swallowing the request.
+   Lines are terminated by ['\n']; a trailing ['\r'] is stripped, so
+   CRLF peers work, and the CR does not count against the cap. *)
+
+type item = Line of string | Overlong
+
+type t = {
+  max_line : int;
+  buf : Buffer.t;
+  mutable discarding : bool;
+}
+
+let create ~max_line =
+  if max_line < 1 then invalid_arg "Svc_reader.create: max_line < 1";
+  { max_line; buf = Buffer.create 256; discarding = false }
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let feed t bytes ~off ~len =
+  let items = ref [] in
+  for i = off to off + len - 1 do
+    match Bytes.get bytes i with
+    | '\n' ->
+        (if t.discarding then begin
+           t.discarding <- false;
+           items := Overlong :: !items
+         end
+         else
+           let s = strip_cr (Buffer.contents t.buf) in
+           if String.length s > t.max_line then items := Overlong :: !items
+           else items := Line s :: !items);
+        Buffer.clear t.buf
+    | c ->
+        if not t.discarding then
+          (* allow one byte of slack for the CR of a CRLF terminator;
+             the completion check above still enforces the cap on the
+             stripped line *)
+          if Buffer.length t.buf > t.max_line then begin
+            t.discarding <- true;
+            Buffer.clear t.buf
+          end
+          else Buffer.add_char t.buf c
+  done;
+  List.rev !items
+
+let pending t = if t.discarding then t.max_line + 1 else Buffer.length t.buf

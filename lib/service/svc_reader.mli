@@ -1,0 +1,30 @@
+(** Length-capped incremental line framing for socket connections.
+
+    Feed raw received bytes in whatever splits the transport delivers;
+    get back the newline-terminated lines they complete, in order.
+    Memory is bounded by the line cap whatever the peer sends: an
+    oversized line is discarded as it streams in and surfaces as one
+    {!Overlong} item at its terminator, so the server can answer it
+    with an error response rather than buffer or kill the connection.
+    A trailing [CR] is stripped (CRLF peers) and does not count against
+    the cap. *)
+
+type item =
+  | Line of string  (** a complete line, terminator (and any CR) stripped *)
+  | Overlong  (** a line that exceeded the cap; its bytes were dropped *)
+
+type t
+
+val create : max_line:int -> t
+(** A fresh reader accepting lines of at most [max_line] bytes
+    (exclusive of the terminator).
+    @raise Invalid_argument if [max_line < 1]. *)
+
+val feed : t -> bytes -> off:int -> len:int -> item list
+(** Consume [len] bytes of [bytes] at [off]; return the items those
+    bytes completed, oldest first (possibly none — a partial line stays
+    buffered for the next feed). *)
+
+val pending : t -> int
+(** Bytes currently buffered for the incomplete line ([max_line + 1]
+    while discarding an oversized one) — for tests and introspection. *)

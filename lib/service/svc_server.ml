@@ -2,9 +2,20 @@
    loop, plus the lockstep client used by the CLI and the CI smoke
    test.  Both loops are single-threaded coordinators — concurrency
    comes from Svc_service.handle_batch dispatching onto the domain
-   pool, not from threads per connection. *)
+   pool, not from threads per connection.  (The concurrent TCP
+   front-end lives in Svc_tcp.) *)
+
+(* A peer that disconnects mid-write must surface as EPIPE on the write
+   call — where the per-client drop logic handles it — not as a fatal
+   SIGPIPE to the whole process.  Every entry point that writes to a
+   socket or a pipe calls this first; harmless to repeat, and a no-op on
+   systems without the signal. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
 
 let serve_channels service ic oc =
+  ignore_sigpipe ();
   try
     while true do
       let line = input_line ic in
@@ -42,12 +53,43 @@ let take_lines buf =
       |> List.map String.trim
       |> List.filter (fun l -> l <> "")
 
-let serve_socket ?(max_clients = 64) ~path service =
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   with Invalid_argument _ -> ());
-  if Sys.file_exists path then Sys.remove path;
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind sock (Unix.ADDR_UNIX path);
+(* Bind a Unix-domain listener at [path].  A leftover socket file from a
+   crashed server makes bind fail with EADDRINUSE even though nobody is
+   listening; blindly unlinking would instead steal the address out from
+   under a *live* server (its clients would silently land on us).  So on
+   EADDRINUSE, probe with a connect: refused (or otherwise dead) means
+   stale — remove and rebind; accepted means a live server — fail. *)
+let bind_unix ~path =
+  let addr = Unix.ADDR_UNIX path in
+  let listener () =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      Unix.bind sock addr;
+      sock
+    with e ->
+      close_quietly sock;
+      raise e
+  in
+  try listener ()
+  with Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      try
+        Unix.connect probe addr;
+        true
+      with Unix.Unix_error _ -> false
+    in
+    close_quietly probe;
+    if live then
+      failwith (Printf.sprintf "%s: a server is already listening" path)
+    else begin
+      (try Sys.remove path with Sys_error _ -> ());
+      listener ()
+    end
+
+let serve_socket ?(max_clients = 64) ?stop ~path service =
+  ignore_sigpipe ();
+  let sock = bind_unix ~path in
   Unix.listen sock max_clients;
   let clients = ref [] in
   let scratch = Bytes.create 65536 in
@@ -55,17 +97,23 @@ let serve_socket ?(max_clients = 64) ~path service =
     close_quietly fd;
     clients := List.filter (fun c -> c.fd != fd) !clients
   in
-  while true do
+  (* with a stop predicate the select must wake periodically to poll it;
+     without one it parks indefinitely, as before *)
+  let tick = match stop with None -> -1.0 | Some _ -> 0.25 in
+  let stopped () = match stop with None -> false | Some f -> f () in
+  while not (stopped ()) do
     let fds = sock :: List.map (fun c -> c.fd) !clients in
     let ready, _, _ =
-      try Unix.select fds [] [] (-1.0)
+      try Unix.select fds [] [] tick
       with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
     in
     List.iter
       (fun fd ->
         if fd == sock then (
-          let cfd, _ = Unix.accept sock in
-          clients := { fd = cfd; buf = Buffer.create 256 } :: !clients)
+          match Unix.accept sock with
+          | cfd, _ ->
+              clients := { fd = cfd; buf = Buffer.create 256 } :: !clients
+          | exception Unix.Unix_error _ -> ())
         else
           match List.find_opt (fun c -> c.fd == fd) !clients with
           | None -> ()
@@ -93,16 +141,22 @@ let serve_socket ?(max_clients = 64) ~path service =
                     try write_all fd out 0 (String.length out)
                     with Unix.Unix_error _ -> drop fd))))
       ready
-  done
+  done;
+  List.iter (fun c -> close_quietly c.fd) !clients;
+  close_quietly sock;
+  try Sys.remove path with Sys_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
 
 (* Lockstep client: send one line, await one response line, repeat.
-   Echoes responses to [oc]; returns the number of [error]/[timeout]
-   responses so scripted callers can exit nonzero. *)
-let client_socket ~path lines oc =
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.connect sock (Unix.ADDR_UNIX path);
+   Echoes responses to [oc]; returns the number of [error]/[timeout]/
+   [busy] responses so scripted callers can exit nonzero. *)
+let client ~addr lines oc =
+  ignore_sigpipe ();
+  let sock =
+    Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+  in
+  Unix.connect sock addr;
   let sic = Unix.in_channel_of_descr sock in
   let soc = Unix.out_channel_of_descr sock in
   let bad = ref 0 in
@@ -121,8 +175,14 @@ let client_socket ~path lines oc =
            output_char oc '\n';
            flush oc))
        lines
-   with End_of_file ->
-     prerr_endline "client: server closed the connection";
-     incr bad);
+   with
+  | End_of_file ->
+      prerr_endline "client: server closed the connection";
+      incr bad
+  | Sys_error m ->
+      prerr_endline ("client: " ^ m);
+      incr bad);
   close_quietly sock;
   !bad
+
+let client_socket ~path lines oc = client ~addr:(Unix.ADDR_UNIX path) lines oc

@@ -1,8 +1,16 @@
 (** Server front-ends over {!Svc_service}.
 
-    Both loops are single-threaded coordinators; concurrency comes from
-    {!Svc_service.handle_batch} dispatching cache-missed [eval]/[holds]
-    work onto the {!Dl_parallel} domain pool. *)
+    Both loops here are single-threaded coordinators; concurrency comes
+    from {!Svc_service.handle_batch} dispatching cache-missed
+    [eval]/[holds] work onto the {!Dl_parallel} domain pool.  The
+    concurrent TCP front-end — worker domains multiplexing many
+    connections — lives in {!Svc_tcp}. *)
+
+val ignore_sigpipe : unit -> unit
+(** Turn SIGPIPE off for the process so a peer disconnecting mid-write
+    surfaces as an [EPIPE] error on the write — handled per client —
+    instead of killing the server.  Called by every socket entry point
+    here and in {!Svc_tcp}; idempotent. *)
 
 val serve_stdio : Svc_service.t -> unit
 (** Read request lines from stdin, write one response line per request
@@ -11,14 +19,34 @@ val serve_stdio : Svc_service.t -> unit
 val serve_channels : Svc_service.t -> in_channel -> out_channel -> unit
 (** {!serve_stdio} over explicit channels (for tests). *)
 
-val serve_socket : ?max_clients:int -> path:string -> Svc_service.t -> unit
-(** Listen on a Unix-domain socket at [path] (an existing file at that
-    path is removed first) and serve clients with a select loop.  All
-    complete lines a client delivers in one wakeup are handled as one
-    batch.  Never returns; the process is expected to be killed. *)
+val bind_unix : path:string -> Unix.file_descr
+(** Create and bind a Unix-domain stream listener at [path].  If the
+    address is taken, probe it with a connect: a stale socket file left
+    by a crashed server (nobody accepts the connect) is removed and the
+    bind retried; a live listener makes this raise [Failure] rather
+    than steal the address.
+    @raise Failure if another server is listening at [path].
+    @raise Unix.Unix_error on other bind failures. *)
+
+val serve_socket :
+  ?max_clients:int ->
+  ?stop:(unit -> bool) ->
+  path:string ->
+  Svc_service.t ->
+  unit
+(** Listen on a Unix-domain socket at [path] (stale socket files are
+    reclaimed, live servers are not — see {!bind_unix}) and serve
+    clients with a select loop.  All complete lines a client delivers
+    in one wakeup are handled as one batch.  Without [stop], never
+    returns; with it, the predicate is polled a few times a second and
+    a [true] closes every client, the listener and the socket file
+    before returning. *)
+
+val client : addr:Unix.sockaddr -> string list -> out_channel -> int
+(** Lockstep client: connect to [addr] (Unix-domain or TCP), send each
+    nonempty line and await its response, echoing responses to the
+    channel.  Returns the number of non-[ok] responses (so scripted
+    callers can exit nonzero). *)
 
 val client_socket : path:string -> string list -> out_channel -> int
-(** Lockstep client: connect to [path], send each nonempty line and
-    await its response, echoing responses to the channel.  Returns the
-    number of non-[ok] responses (so scripted callers can exit
-    nonzero). *)
+(** {!client} over [Unix.ADDR_UNIX path]. *)

@@ -24,11 +24,16 @@ type key_mode = Fingerprint | Printed
 
 type t = {
   sessions : (string, Svc_session.t) Hashtbl.t;
+  mu : Mutex.t; (* guards [sessions]; held for table ops only *)
+  heavy : Mutex.t;
+      (* serializes non-worker-safe verbs across TCP workers: their
+         decision procedures share coordinator-only memo caches *)
   cache : Svc_cache.t;
   parallel : bool; (* batch misses may use the domain pool *)
   key_mode : key_mode;
-  mutable requests : int;
-  mutable timeouts : int;
+  quota : (int * float) option; (* per-session (limit, window seconds) *)
+  requests : int Atomic.t;
+  timeouts : int Atomic.t;
 }
 
 (* [MONDET_CACHE_KEY=printed] forces the legacy print-then-digest keys —
@@ -38,33 +43,42 @@ let default_key_mode () =
   | Some s when String.lowercase_ascii (String.trim s) = "printed" -> Printed
   | _ -> Fingerprint
 
-let create ?(cache_capacity = 512) ?(parallel = true) ?key_mode () =
+let create ?(cache_capacity = 512) ?(parallel = true) ?key_mode ?quota
+    ?(quota_window = 1.0) () =
   {
     sessions = Hashtbl.create 8;
+    mu = Mutex.create ();
+    heavy = Mutex.create ();
     cache = Svc_cache.create cache_capacity;
     parallel;
     key_mode =
       (match key_mode with Some m -> m | None -> default_key_mode ());
-    requests = 0;
-    timeouts = 0;
+    quota = Option.map (fun limit -> (limit, quota_window)) quota;
+    requests = Atomic.make 0;
+    timeouts = Atomic.make 0;
   }
 
 exception Reject of string
 
 let reject fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
 
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
 let session t n =
-  match Hashtbl.find_opt t.sessions n with
+  match locked t (fun () -> Hashtbl.find_opt t.sessions n) with
   | Some s -> s
   | None -> reject "unknown session %S" n
 
 let session_or_create t n =
-  match Hashtbl.find_opt t.sessions n with
-  | Some s -> s
-  | None ->
-      let s = Svc_session.create n in
-      Hashtbl.add t.sessions n s;
-      s
+  locked t (fun () ->
+      match Hashtbl.find_opt t.sessions n with
+      | Some s -> s
+      | None ->
+          let s = Svc_session.create n in
+          Hashtbl.add t.sessions n s;
+          s)
 
 (* session of a request; the protocol parser guarantees [Some] except
    for [Stats] *)
@@ -181,8 +195,8 @@ let stats_body t =
     (Svc_cache.hits t.cache) (Svc_cache.misses t.cache)
     (Svc_cache.entries t.cache)
     (Svc_cache.evictions t.cache)
-    (Hashtbl.length t.sessions)
-    t.requests t.timeouts
+    (locked t (fun () -> Hashtbl.length t.sessions))
+    (Atomic.get t.requests) (Atomic.get t.timeouts)
 
 (* ------------------------------------------------------------------ *)
 (* Exception-to-result mapping.  Pure: no service state is touched, so
@@ -221,8 +235,7 @@ type plan = {
   pcompute : Dl_engine.strategy option -> string;
 }
 
-let plan t ~cancel req : plan =
-  let s = session t (req_session req) in
+let plan_in t s ~cancel req : plan =
   match req.verb with
   | Eval { program; instance } ->
       let q = Svc_session.program s program in
@@ -283,8 +296,10 @@ let plan t ~cancel req : plan =
       }
   | Load _ | Stats -> assert false (* handled before planning *)
 
-let do_load t sess kind name text =
-  let s = session_or_create t sess in
+let plan t ~cancel req : plan =
+  plan_in t (session t (req_session req)) ~cancel req
+
+let do_load_in s kind name text =
   match kind with
   | Kprogram goal ->
       Svc_session.set_program s name (Parse.query ~goal text);
@@ -296,9 +311,13 @@ let do_load t sess kind name text =
       Svc_session.set_instance s name (Parse.instance text);
       "loaded instance " ^ name
 
-(* coordinator-side bookkeeping for one finished request *)
+let do_load t sess kind name text =
+  do_load_in (session_or_create t sess) kind name text
+
+(* bookkeeping for one finished request; counters are atomic so both the
+   coordinator and the TCP workers may call this *)
 let record t result =
-  (match result with Timeout -> t.timeouts <- t.timeouts + 1 | _ -> ());
+  (match result with Timeout -> Atomic.incr t.timeouts | _ -> ());
   result
 
 (* ------------------------------------------------------------------ *)
@@ -306,7 +325,7 @@ let record t result =
    one-shot [batch] fallback path). *)
 
 let handle t req : response =
-  t.requests <- t.requests + 1;
+  Atomic.incr t.requests;
   let cancel = cancel_of req in
   let result =
     match req.verb with
@@ -322,7 +341,7 @@ let handle t req : response =
               planned := Some (plan t ~cancel req);
               "")
         with
-        | (Error_ _ | Timeout) as r -> r
+        | (Error_ _ | Timeout | Busy) as r -> r
         | Ok_ _ -> (
             let p = Option.get !planned in
             match Svc_cache.find t.cache p.pkey with
@@ -357,7 +376,7 @@ let handle_batch t reqs : response list =
   (* sequential planning pass, in request order *)
   for idx = 0 to n - 1 do
     let req = reqs.(idx) in
-    t.requests <- t.requests + 1;
+    Atomic.incr t.requests;
     let cancel = cancel_of req in
     match req.verb with
     | Load { kind; name; text } ->
@@ -372,7 +391,7 @@ let handle_batch t reqs : response list =
               planned := Some (plan t ~cancel req);
               "")
         with
-        | (Error_ _ | Timeout) as r -> slots.(idx) <- Done r
+        | (Error_ _ | Timeout | Busy) as r -> slots.(idx) <- Done r
         | Ok_ _ -> (
             let p = Option.get !planned in
             match Svc_cache.find t.cache p.pkey with
@@ -449,10 +468,106 @@ let handle_batch t reqs : response list =
 (* ------------------------------------------------------------------ *)
 (* Line-level entry points. *)
 
+(* ------------------------------------------------------------------ *)
+(* Concurrent entry point: the TCP connection workers' request path.
+
+   Safety discipline, in lock order:
+
+   - [t.mu] guards the session table, held for table lookups only;
+   - the session mutex is held for the whole of planning and evaluation,
+     serializing requests per session — this is what makes the
+     session-owned mutable structures (the instances' lazily built index
+     caches foremost) safe to touch from many domains, with the mutex
+     hand-off providing the publication edge;
+   - non-worker-safe verbs (mondet-test, certain-answers, rewrite-check)
+     additionally hold [t.heavy]: their decision procedures lean on
+     process-global memo tables that are not domain-safe, so at most one
+     such computation runs at a time, whatever the session;
+   - the cache carries its own lock, and evaluation is forced to the
+     [Indexed] strategy — the [Parallel] strategy would re-enter the
+     single-coordinator domain pool, and [Magic] caches its demand
+     transformations in a global table.
+
+   Per-session quotas shed with [busy] before any planning work. *)
+
+let handle_concurrent t req : response =
+  Atomic.incr t.requests;
+  let cancel = cancel_of req in
+  let finish result = { rid = req.id; result = record t result } in
+  match req.verb with
+  | Stats -> finish (exec ~cancel (fun () -> stats_body t))
+  | _ -> (
+      let resolved =
+        try
+          Ok
+            (match req.verb with
+            | Load _ -> session_or_create t (req_session req)
+            | _ -> session t (req_session req))
+        with Reject m -> Error m
+      in
+      match resolved with
+      | Error m -> finish (Error_ m)
+      | Ok s ->
+          finish
+          @@ Svc_session.with_lock s (fun () ->
+                 let shed =
+                   match t.quota with
+                   | None -> false
+                   | Some (limit, window) ->
+                       Svc_session.over_quota s ~limit ~window
+                         ~now:(Unix.gettimeofday ())
+                 in
+                 if shed then Busy
+                 else
+                   match req.verb with
+                   | Load { kind; name; text } ->
+                       exec ~cancel (fun () -> do_load_in s kind name text)
+                   | Stats -> assert false
+                   | _ -> (
+                       let planned = ref None in
+                       match
+                         exec ~cancel (fun () ->
+                             planned := Some (plan_in t s ~cancel req);
+                             "")
+                       with
+                       | (Error_ _ | Timeout | Busy) as r -> r
+                       | Ok_ _ -> (
+                           let p = Option.get !planned in
+                           match Svc_cache.find t.cache p.pkey with
+                           | Some v -> Ok_ v
+                           | None ->
+                               let compute () =
+                                 exec ~cancel (fun () ->
+                                     p.pcompute (Some Dl_engine.Indexed))
+                               in
+                               let r =
+                                 if p.pworker_safe then compute ()
+                                 else begin
+                                   Mutex.lock t.heavy;
+                                   Fun.protect
+                                     ~finally:(fun () ->
+                                       Mutex.unlock t.heavy)
+                                     compute
+                                 end
+                               in
+                               (match r with
+                               | Ok_ v -> Svc_cache.add t.cache p.pkey v
+                               | _ -> ());
+                               r))))
+
+let handle_line_concurrent t line : response =
+  match parse_request line with
+  | Error (id, msg) ->
+      Atomic.incr t.requests;
+      { rid = id; result = Error_ msg }
+  | Ok req -> handle_concurrent t req
+
+(* ------------------------------------------------------------------ *)
+
 let handle_line t line : response =
   match parse_request line with
   | Error (id, msg) ->
-      t.requests <- t.requests + 1;
+      Atomic.incr t.requests;
       { rid = id; result = Error_ msg }
   | Ok req -> handle t req
 
@@ -468,7 +583,7 @@ let handle_lines t lines : response list =
     (fun (_, p) ->
       match p with
       | Error (id, msg) ->
-          t.requests <- t.requests + 1;
+          Atomic.incr t.requests;
           { rid = id; result = Error_ msg }
       | Ok _ -> (
           match !handled with
@@ -478,7 +593,10 @@ let handle_lines t lines : response list =
           | [] -> { rid = "-"; result = Error_ "internal: response underflow" }))
     parsed
 
-let requests t = t.requests
-let timeouts t = t.timeouts
+let requests t = Atomic.get t.requests
+let timeouts t = Atomic.get t.timeouts
 let cache t = t.cache
-let sessions t = Hashtbl.length t.sessions
+let sessions t = locked t (fun () -> Hashtbl.length t.sessions)
+
+let key_mode_name t =
+  match t.key_mode with Fingerprint -> "fingerprint" | Printed -> "printed"

@@ -1,10 +1,22 @@
 (** Request dispatch for the decision service.
 
     Owns the session store, the LRU result cache, and the per-request
-    deadline machinery.  One [t] serves one server process; all entry
-    points must be called from a single coordinating thread ({!
-    handle_batch} farms work out to the {!Dl_parallel} pool internally
-    but never lets workers touch the cache or the session store).
+    deadline machinery.  One [t] serves one server process.
+
+    Two threading contracts coexist and must not be mixed on one [t]:
+
+    - the {e single-coordinator} entry points ({!handle},
+      {!handle_batch}, {!handle_line}, {!handle_lines}) must all be
+      called from one coordinating thread ({!handle_batch} farms work
+      out to the {!Dl_parallel} pool internally but never lets workers
+      touch the cache or the session store);
+    - the {e concurrent} entry points ({!handle_concurrent},
+      {!handle_line_concurrent}) may be called from many domains at
+      once — the TCP connection workers do.  They serialize per session
+      (whole-request session lock), serialize the non-worker-safe verbs
+      globally (their decision procedures share coordinator-only memo
+      tables), force the [Indexed] evaluation strategy, and shed
+      over-quota requests with [busy] before planning.
 
     {2 Deadlines}
 
@@ -37,12 +49,21 @@ type key_mode = Fingerprint | Printed
 (** Cache-key scheme, see the caching section above. *)
 
 val create :
-  ?cache_capacity:int -> ?parallel:bool -> ?key_mode:key_mode -> unit -> t
+  ?cache_capacity:int ->
+  ?parallel:bool ->
+  ?key_mode:key_mode ->
+  ?quota:int ->
+  ?quota_window:float ->
+  unit ->
+  t
 (** [cache_capacity] defaults to 512 entries; [parallel] (default true)
     lets {!handle_batch} dispatch cache-missed [eval]/[holds] requests
     onto the {!Dl_parallel} domain pool.  [key_mode] defaults to
     [Fingerprint] unless the environment variable [MONDET_CACHE_KEY] is
-    set to [printed]. *)
+    set to [printed].  [quota], when given, caps each session at that
+    many requests per [quota_window] seconds (default window 1s) on the
+    concurrent path; over-quota requests answer [busy].  The
+    single-coordinator entry points ignore the quota. *)
 
 val handle : t -> Svc_proto.request -> Svc_proto.response
 (** Handle one request synchronously on the calling thread. *)
@@ -61,7 +82,19 @@ val handle_lines : t -> string list -> Svc_proto.response list
 (** {!handle_batch} at the line level, preserving malformed lines'
     positions in the output. *)
 
+val handle_concurrent : t -> Svc_proto.request -> Svc_proto.response
+(** Handle one request on the calling domain, safely concurrent with
+    other calls on other domains (see the threading contracts above).
+    Returns [busy] when the session is over quota. *)
+
+val handle_line_concurrent : t -> string -> Svc_proto.response
+(** {!handle_concurrent} at the line level. *)
+
 val requests : t -> int
 val timeouts : t -> int
 val sessions : t -> int
 val cache : t -> Svc_cache.t
+
+val key_mode_name : t -> string
+(** ["fingerprint"] or ["printed"] — recorded in cache snapshot headers
+    so a snapshot is only reloaded under the key scheme that wrote it. *)

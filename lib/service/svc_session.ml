@@ -1,11 +1,24 @@
 (* A named service session: the server-side store of loaded programs,
-   view collections and instances that requests refer to by name. *)
+   view collections and instances that requests refer to by name.
+
+   Each session carries its own mutex.  The concurrent TCP workers hold
+   it for the whole handling of a request against the session —
+   planning, evaluation and stores — which serializes requests per
+   session and thereby publishes every session-owned mutable structure
+   (the instances' lazy index caches above all) between domains with a
+   proper happens-before edge.  Requests on different sessions never
+   share objects, so they run in parallel.  The single-coordinator
+   entry points do not take the lock (nothing to race with). *)
 
 type t = {
   name : string;
+  mu : Mutex.t;
   programs : (string, Datalog.query) Hashtbl.t;
   views : (string, View.collection) Hashtbl.t;
   instances : (string, Instance.t) Hashtbl.t;
+  (* fixed-window request quota, guarded by [mu] *)
+  mutable win_start : float;
+  mutable win_count : int;
 }
 
 exception Missing of string
@@ -15,12 +28,33 @@ let missing fmt = Printf.ksprintf (fun s -> raise (Missing s)) fmt
 let create name =
   {
     name;
+    mu = Mutex.create ();
     programs = Hashtbl.create 8;
     views = Hashtbl.create 8;
     instances = Hashtbl.create 8;
+    win_start = neg_infinity;
+    win_count = 0;
   }
 
 let name t = t.name
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* Count one request against the fixed [window]-second quota window;
+   [true] means the caller must shed this request with [busy].  Must be
+   called with the session lock held (the concurrent path does). *)
+let over_quota t ~limit ~window ~now =
+  if now -. t.win_start >= window then begin
+    t.win_start <- now;
+    t.win_count <- 1;
+    false
+  end
+  else begin
+    t.win_count <- t.win_count + 1;
+    t.win_count > limit
+  end
 
 let set_program t n q = Hashtbl.replace t.programs n q
 let set_views t n v = Hashtbl.replace t.views n v

@@ -2,7 +2,15 @@
 
     A session holds the programs, view collections and instances that
     were [load]ed into it; query verbs refer to them by name.  Loads
-    replace silently (reload-to-update is the intended workflow). *)
+    replace silently (reload-to-update is the intended workflow).
+
+    Each session owns a mutex.  The concurrent TCP path wraps the whole
+    handling of a request in {!with_lock}, serializing requests per
+    session: that is the synchronization that makes the session-owned
+    mutable structures — above all the instances' lazily built index
+    caches — safe to touch from many domains.  The single-coordinator
+    entry points ({!Svc_service.handle}, [handle_batch]) skip the lock;
+    one process never mixes both modes on one service. *)
 
 type t
 
@@ -12,6 +20,16 @@ exception Missing of string
 
 val create : string -> t
 val name : t -> string
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the session's mutex (released on exception).  Not
+    reentrant. *)
+
+val over_quota : t -> limit:int -> window:float -> now:float -> bool
+(** Count one request against the session's fixed-window quota and
+    report whether it overflowed: at most [limit] requests per [window]
+    seconds, counted in windows anchored at the first request after the
+    previous window lapsed.  Call with the session lock held. *)
 
 val set_program : t -> string -> Datalog.query -> unit
 val set_views : t -> string -> View.collection -> unit

@@ -15,4 +15,5 @@ let () =
       ("machine", Test_machine.suite);
       ("core", Test_core.suite);
       ("service", Test_service.suite);
+      ("tcp", Test_tcp.suite);
     ]

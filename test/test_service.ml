@@ -153,6 +153,7 @@ let response_gen =
         map (fun b -> { Svc_proto.rid; result = Svc_proto.Ok_ b }) body;
         map (fun b -> { Svc_proto.rid; result = Svc_proto.Error_ b }) body;
         return { Svc_proto.rid; result = Svc_proto.Timeout };
+        return { Svc_proto.rid; result = Svc_proto.Busy };
       ])
 
 let qcheck_response_roundtrip =
@@ -351,6 +352,7 @@ let test_mixed_workload () =
           | Svc_proto.Ok_ b -> "ok " ^ b
           | Svc_proto.Error_ m -> "error " ^ m
           | Svc_proto.Timeout -> "timeout"
+          | Svc_proto.Busy -> "busy"
         in
         check_string line expected_body got)
       batch responses
