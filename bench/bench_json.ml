@@ -172,19 +172,45 @@ let scale_tests =
           in
           fun () -> ignore (Dl_eval.eval q g)))
   in
+  (* the same raw probes through the bytecode VM, paired with the rows
+     above: the vm row beating its interpreted counterpart is what the
+     static-plan lowering buys on these workloads *)
+  let join_vm =
+    Test.make ~name:"raw/join-path3-vm"
+      (Staged.stage
+         (let g = chain_graph 256 in
+          let q =
+            Parse.query ~goal:"Q" "Q(x,w) <- E(x,y), E(y,z), E(z,w)."
+          in
+          fun () -> ignore (Dl_vm.eval q g)))
+  in
+  let tc_vm =
+    Test.make ~name:"raw/tc-chain-64-vm"
+      (Staged.stage
+         (let g = chain_graph 64 in
+          let q =
+            Parse.query ~goal:"T" "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y)."
+          in
+          fun () -> ignore (Dl_vm.eval q g)))
+  in
   Test.make_grouped ~name:"scale"
     (List.map grid [ 3; 4; 5; 6; 7; 8 ]
     @ List.map diamond [ 2; 3; 4; 5; 6 ]
-    @ [ join; hom; tc ])
+    @ [ join; hom; tc; join_vm; tc_vm ])
 
 (* ------------------------------------------------------------------ *)
-(* Engine ablation probes: the same workload under the indexed and the
-   magic-sets strategy, so the trajectory records what goal-directed
-   evaluation buys (or costs) on each paper pipeline.                  *)
+(* Engine ablation probes: the same workload under the indexed, the
+   magic-sets, and the bytecode-VM strategy, so the trajectory records
+   what goal-directed evaluation and static-plan lowering each buy (or
+   cost) on the paper pipelines.                                       *)
 
 let engine_tests =
   let strategies =
-    [ ("indexed", Dl_engine.Indexed); ("magic", Dl_engine.Magic) ]
+    [
+      ("indexed", Dl_engine.Indexed);
+      ("magic", Dl_engine.Magic);
+      ("vm", Dl_engine.Vm);
+    ]
   in
   let per_strategy name mk =
     List.map
@@ -322,6 +348,49 @@ let service_tests =
     [ cold; warm; batch; key_digest 32; key_digest 2048 ]
 
 (* ------------------------------------------------------------------ *)
+(* Bytecode-VM probes on the recursive workloads the parallel block
+   also times, paired with the indexed engine run in the same process:
+   the engine/vm-*-vm vs engine/vm-*-indexed deltas are the headline
+   numbers for the static-plan lowering (single-threaded, so they are
+   comparable across container shapes, unlike the par-* rows).         *)
+
+let vm_tests =
+  let strategies = [ ("indexed", Dl_engine.Indexed); ("vm", Dl_engine.Vm) ] in
+  let per_strategy name mk =
+    List.map
+      (fun (sname, s) ->
+        Test.make
+          ~name:(Printf.sprintf "vm-%s-%s" name sname)
+          (Staged.stage (mk s)))
+      strategies
+  in
+  let join =
+    (* one wide round: a three-way join over 614 edges, no recursion *)
+    let g = chain_graph 512 in
+    let q = Parse.query ~goal:"Q" "Q(x,w) <- E(x,y), E(y,z), E(z,w)." in
+    per_strategy "join3-512" (fun s () ->
+        ignore (Dl_engine.eval ~strategy:s q g))
+  in
+  let tc =
+    (* many narrow-to-medium semi-naive rounds over a 128-chain *)
+    let g = chain_graph 128 in
+    let q =
+      Parse.query ~goal:"T" "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y)."
+    in
+    per_strategy "tc-128" (fun s () -> ignore (Dl_engine.eval ~strategy:s q g))
+  in
+  let sg =
+    (* same-generation: wide rounds with a fat three-way join each *)
+    let g = chain_graph 192 in
+    let q =
+      Parse.query ~goal:"S"
+        "S(x,y) <- E(p,x), E(p,y). S(x,y) <- E(p,x), S(p,q), E(q,y)."
+    in
+    per_strategy "sg-192" (fun s () -> ignore (Dl_engine.eval ~strategy:s q g))
+  in
+  Test.make_grouped ~name:"engine" (join @ tc @ sg)
+
+(* ------------------------------------------------------------------ *)
 (* Parallel-engine probes: wide workloads (one fat join round, a long
    semi-naive run, a full grid-query fixpoint) under the indexed engine
    and the domain-sharded engine at several pool sizes.  The sequential
@@ -435,11 +504,12 @@ let json ?(path = "BENCH_eval.json") () =
   let scale_rows = run scale_tests in
   let engine_rows = run engine_tests in
   let service_rows = run service_tests in
+  let vm_rows = run vm_tests in
   let par_rows = run par_tests in
   Dl_parallel.set_domains 1;
   Dl_parallel.shutdown ();
   let rows =
-    base_rows @ scale_rows @ engine_rows @ service_rows @ par_rows
+    base_rows @ scale_rows @ engine_rows @ service_rows @ vm_rows @ par_rows
   in
   print_rows rows;
   let oc = open_out path in

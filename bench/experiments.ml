@@ -471,3 +471,82 @@ let e16 () =
   pf "  cold/warm speedup: %.1fx@." (cold /. warm);
   pf "  (warm requests pay parse + canonical-form digest + LRU lookup;@.";
   pf "   single-core container numbers, caveats as in E15)@."
+
+(* E17 and E18 are measured by dedicated harnesses (the cache-key
+   differential suite and [mondet bench-serve] respectively); see
+   EXPERIMENTS.md.  The next in-process experiment is E19. *)
+
+(* E19 — ablation: the register-bytecode VM vs the interpreted matcher.
+
+   Methodology: the three recursive/join workloads also timed by the
+   engine/vm-* bench rows — a non-recursive three-way join over 614
+   edges, transitive closure of a 128-chain (~8k derived facts, many
+   narrow delta rounds), and same-generation on a 192-node graph (wide
+   rounds, each a fat three-way join) — evaluated under the indexed
+   engine (interpreted slot matcher, per-round index selection) and
+   under the VM (static plans lowered once to flat bytecode).  Answers
+   are asserted identical as sorted tuple sets, not just counts.  The
+   one-time lowering cost is reported separately: bytecode size and a
+   cold [Dl_vm.compile] timing per program (warm compiles are
+   fingerprint-cache hits). *)
+let e19 () =
+  pf "@.### E19 — ablation: bytecode VM vs interpreted slot matcher ###@.";
+  let node i = Const.named (Printf.sprintf "n%d" i) in
+  let graph n =
+    Instance.of_list
+      (List.init n (fun i -> Fact.make "E" [ node i; node (i + 1) ])
+      @ (List.init (max 0 (n - 5)) (fun i -> i)
+        |> List.filter (fun i -> i mod 5 = 0)
+        |> List.map (fun i -> Fact.make "E" [ node i; node (i + 5) ])))
+  in
+  let workloads =
+    [
+      ("join3 over 614 edges",
+       Parse.query ~goal:"Q" "Q(x,w) <- E(x,y), E(y,z), E(z,w).",
+       graph 512);
+      ("tc of a 128-chain",
+       Parse.query ~goal:"T" "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y).",
+       graph 128);
+      ("same-gen on 192 nodes",
+       Parse.query ~goal:"S"
+         "S(x,y) <- E(p,x), E(p,y). S(x,y) <- E(p,x), S(p,q), E(q,y).",
+       graph 192);
+    ]
+  in
+  let norm ts = List.sort compare (List.map Array.to_list ts) in
+  (* one-time lowering cost, per program: bytecode volume and the cold
+     compile time — measured before any evaluation, since the
+     fingerprint cache makes every later compile a mutex-guarded assoc
+     hit *)
+  List.iter
+    (fun (name, q, _) ->
+      let rps, t = time (fun () -> Dl_vm.compile q.Datalog.program) in
+      let words =
+        List.fold_left
+          (fun acc rp ->
+            Array.fold_left
+              (fun acc (p : Dl_vm.program) -> acc + Array.length p.code)
+              (acc + Array.length rp.Dl_vm.naive.code)
+              rp.Dl_vm.semi)
+          0 rps
+      in
+      pf "  lowering %-24s %d rule(s), %d bytecode words, %.4fs@." name
+        (List.length rps) words t)
+    workloads;
+  pf "  %-24s %-10s %-10s %s@." "workload" "engine" "answers" "time";
+  List.iter
+    (fun (name, q, g) ->
+      let a0, t0 =
+        time (fun () -> Dl_engine.eval ~strategy:Dl_engine.Indexed q g)
+      in
+      pf "  %-24s %-10s %-10d %.3fs@." name "indexed" (List.length a0) t0;
+      let a1, t1 =
+        time (fun () -> Dl_engine.eval ~strategy:Dl_engine.Vm q g)
+      in
+      pf "  %-24s %-10s %-10d %.3fs  (%.2fx)@." name "vm" (List.length a1) t1
+        (t0 /. t1);
+      assert (norm a0 = norm a1))
+    workloads;
+  pf "  (vm and indexed share plan selection; the vm rows replace the@.";
+  pf "   per-tuple environment interpretation with a register dispatch@.";
+  pf "   loop — single-core container numbers, caveats as in E15)@."

@@ -32,6 +32,7 @@ let report () =
   Experiments.e14 ();
   Experiments.e15 ();
   Experiments.e16 ();
+  Experiments.e19 ();
   Format.printf "@.report complete.@."
 
 let () =

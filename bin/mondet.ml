@@ -41,8 +41,10 @@ let engine_arg =
           "Datalog evaluation strategy: $(b,naive) (scan-based naive \
            iteration), $(b,indexed) (slot-compiled semi-naive), \
            $(b,magic) (magic-sets demand transformation over the indexed \
-           engine) or $(b,parallel) (semi-naive rounds sharded across \
-           OCaml 5 domains; see $(b,--domains)).")
+           engine), $(b,parallel) (semi-naive rounds sharded across \
+           OCaml 5 domains; see $(b,--domains)) or $(b,vm) (static join \
+           plans lowered to register bytecode, with mid-round \
+           cancellation).")
 
 let domains_arg =
   Arg.(

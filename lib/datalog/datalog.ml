@@ -187,8 +187,8 @@ let union q1 q2 g =
    atom's relation, arity and terms.  Structurally equal queries always
    fingerprint equal; named constants hash by interned id, so the value
    is process-local (same contract as Instance fingerprints). *)
-let fp_stream seed chash (q : query) =
-  let h = ref (Fp.mix (seed lxor Fp.string_hash q.goal)) in
+let fp_stream_program seed chash (p : program) =
+  let h = ref (Fp.mix seed) in
   let term t =
     h :=
       match t with
@@ -205,8 +205,11 @@ let fp_stream seed chash (q : query) =
       h := Fp.step !h (List.length r.body);
       atom r.head;
       List.iter atom r.body)
-    q.program;
+    p;
   !h
+
+let fp_stream seed chash (q : query) =
+  fp_stream_program (seed lxor Fp.string_hash q.goal) chash q.program
 
 (* Memoized under physical equality: sessions hand the same query value
    to every request, so warm cache-key construction never re-traverses
@@ -227,6 +230,14 @@ let fingerprint q =
 let fingerprint_hex q =
   let h1, h2 = fingerprint q in
   Fp.hex h1 h2
+
+(* Goal-less fingerprint of a bare program, for caches keyed on the rule
+   set alone (the bytecode cache in Dl_vm).  Deliberately unmemoized:
+   the fold is O(|p|) on always-small programs, and keeping it pure makes
+   it safe to call from any domain. *)
+let program_fingerprint (p : program) =
+  ( fp_stream_program Fp.seed1 Const.hash p,
+    fp_stream_program Fp.seed2 Const.hash2 p )
 
 let pp_rule ppf r =
   Fmt.pf ppf "%a ← %a" Cq.pp_atom r.head

@@ -85,6 +85,11 @@ val fingerprint : query -> int * int
 val fingerprint_hex : query -> string
 (** 32-hex-digit rendering of {!fingerprint}. *)
 
+val program_fingerprint : program -> int * int
+(** Fingerprint of a bare program (no goal mixed in), for caches keyed on
+    the rule set alone.  Unmemoized — the fold is O(|p|) and pure, so it
+    is safe from any domain. *)
+
 val pp_rule : rule Fmt.t
 val pp_program : program Fmt.t
 val pp_query : query Fmt.t

@@ -1,7 +1,7 @@
 (* One front door for Datalog evaluation.
 
    Every decision procedure in the system bottoms out in [holds] /
-   [holds_boolean] / [eval]; this facade routes them through one of four
+   [holds_boolean] / [eval]; this facade routes them through one of five
    strategies:
 
    - [Naive]: the seed's scan-based, textual-order, naive-iteration
@@ -15,27 +15,32 @@
      to [Indexed] — there is nothing to specialize.
    - [Parallel]: the indexed engine's rounds sharded across a pool of
      OCaml 5 domains ({!Dl_parallel}).
+   - [Vm]: static join plans lowered to flat register bytecode
+     ({!Dl_vm}), same semi-naive rounds as [Indexed] with a compiled
+     per-rule matcher and mid-round cancellation probes.
 
    The default strategy is a process-wide setting (the CLI's [--engine]
    flag and the MONDET_ENGINE environment variable set it; the bench
    ablations and the tests override it per call). *)
 
-type strategy = Naive | Indexed | Magic | Parallel
+type strategy = Naive | Indexed | Magic | Parallel | Vm
 
-let to_string = function
-  | Naive -> "naive"
-  | Indexed -> "indexed"
-  | Magic -> "magic"
-  | Parallel -> "parallel"
+(* The single registry every name-facing derivation comes from: the
+   strategy list, [to_string]/[of_string], and the "expected …" text of
+   the MONDET_ENGINE warning.  Adding a strategy means adding one row
+   here (plus its dispatch arms below — the compiler enforces those). *)
+let registry = [
+  (Naive, "naive");
+  (Indexed, "indexed");
+  (Magic, "magic");
+  (Parallel, "parallel");
+  (Vm, "vm");
+]
 
-let of_string = function
-  | "naive" -> Some Naive
-  | "indexed" -> Some Indexed
-  | "magic" -> Some Magic
-  | "parallel" -> Some Parallel
-  | _ -> None
-
-let all = [ Naive; Indexed; Magic; Parallel ]
+let all = List.map fst registry
+let to_string s = List.assoc s registry
+let of_string n = List.find_map (fun (s, n') -> if String.equal n n' then Some s else None) registry
+let expected = String.concat "|" (List.map snd registry)
 
 (* Indexed by default: on the paper's workloads (small instances, Boolean
    all-free goals) the demand transformation prunes little and its extra
@@ -57,9 +62,8 @@ let default_strategy =
         match of_string (String.trim s) with
         | Some st -> st
         | None ->
-            Printf.eprintf
-              "mondet: ignoring MONDET_ENGINE=%S (expected \
-               naive|indexed|magic|parallel)\n%!" s;
+            Printf.eprintf "mondet: ignoring MONDET_ENGINE=%S (expected %s)\n%!"
+              s expected;
             Indexed))
 
 let default () = Atomic.get default_strategy
@@ -68,6 +72,16 @@ let set_default s = Atomic.set default_strategy s
 (* A per-call [?strategy] always wins; the process default is read once
    per top-level call, never again mid-evaluation. *)
 let resolve = function Some s -> s | None -> Atomic.get default_strategy
+
+(* Strategies safe to run from a worker domain of a shared pool.
+   [Parallel] would re-enter the pool from inside a task (deadlock on the
+   round barrier); [Magic]'s transform cache is an unguarded global.
+   Everything else either has no shared mutable state ([Naive]) or
+   mutex-guarded caches ([Indexed]'s slot compile via {!Dl_plan},
+   [Vm]'s bytecode cache). *)
+let pool_safe = function
+  | Parallel | Magic -> Indexed
+  | (Naive | Indexed | Vm) as s -> s
 
 let goal_tuples_naive ?cancel (q : Datalog.query) inst =
   Instance.tuples
@@ -78,6 +92,7 @@ let eval ?strategy ?cancel (q : Datalog.query) inst =
   match resolve strategy with
   | Naive -> goal_tuples_naive ?cancel q inst
   | Indexed -> Dl_eval.eval ?cancel q inst
+  | Vm -> Dl_vm.eval ?cancel q inst
   | Parallel -> Dl_parallel.eval ?cancel q inst
   | Magic when not (Dl_magic.applicable q) -> Dl_eval.eval ?cancel q inst
   | Magic ->
@@ -92,6 +107,7 @@ let holds ?strategy ?cancel (q : Datalog.query) inst tup =
   match resolve strategy with
   | Naive -> List.exists (tuple_equal tup) (goal_tuples_naive ?cancel q inst)
   | Indexed -> Dl_eval.holds ?cancel q inst tup
+  | Vm -> Dl_vm.holds ?cancel q inst tup
   | Parallel -> Dl_parallel.holds ?cancel q inst tup
   | Magic when not (Dl_magic.applicable q) -> Dl_eval.holds ?cancel q inst tup
   | Magic ->
@@ -104,6 +120,7 @@ let holds_boolean ?strategy ?cancel (q : Datalog.query) inst =
   match resolve strategy with
   | Naive -> goal_tuples_naive ?cancel q inst <> []
   | Indexed -> Dl_eval.holds_boolean ?cancel q inst
+  | Vm -> Dl_vm.holds_boolean ?cancel q inst
   | Parallel -> Dl_parallel.holds_boolean ?cancel q inst
   | Magic when not (Dl_magic.applicable q) -> Dl_eval.holds_boolean ?cancel q inst
   | Magic ->

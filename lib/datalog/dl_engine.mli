@@ -7,12 +7,13 @@
 
     {2 The strategy contract}
 
-    All four strategies compute the same answers: for every query [q],
+    All five strategies compute the same answers: for every query [q],
     instance [i] and tuple [t], [eval], [holds] and [holds_boolean] agree
     across strategies (this is enforced by the qcheck differential suites
-    in [test/test_datalog.ml], [test/test_magic.ml] and
-    [test/test_parallel.ml], 120 random program/instance pairs each per
-    entry point).  They differ only in how the fixpoint is computed:
+    in [test/test_datalog.ml], [test/test_magic.ml],
+    [test/test_parallel.ml] and [test/test_vm.ml], 120 random
+    program/instance pairs each per entry point).  They differ only in
+    how the fixpoint is computed:
 
     - {!Naive} — the seed's scan-based, textual-order, naive-iteration
       evaluator ({!Dl_eval.fixpoint_naive}).  Slowest by far; exists as
@@ -40,6 +41,16 @@
       once per-round work dwarfs the barrier cost (~10 µs); loses on
       narrow rounds.  With one effective domain it delegates to
       [Indexed] outright.
+    - {!Vm} — static join plans ({!Dl_plan.plan}) lowered to flat
+      register bytecode executed by a tight dispatch loop ({!Dl_vm}).
+      Same semi-naive rounds and early stop as [Indexed], but the atom
+      order is fixed at compile time (only the index-probe position is
+      chosen per execution), so the per-depth selectivity rescans of the
+      interpreted matcher disappear — it wins on recursive workloads
+      with deep joins (see [engine/vm-*] in [BENCH_eval.json]).  Also
+      the only engine that probes cancellation {e inside} a round
+      (a [cancel-probe] opcode on every cursor advance), so deadlines
+      interrupt long rounds mid-enumeration.
 
     {2 Determinism}
 
@@ -58,18 +69,28 @@
     the process-wide default is an [Atomic.t] (so concurrent
     [set_default] is a race only on {e which} engine runs, never on its
     answer, and each top-level call reads the default exactly once — not
-    once per fixpoint round), but the engines' caches (compiled rules,
-    magic transforms, lazily built instance indexes) are unsynchronized.
-    [Parallel]'s worker domains are internal to {!Dl_parallel} and never
-    call back into this module. *)
+    once per fixpoint round).  The compile caches behind [Indexed] and
+    [Vm] are mutex-guarded ({!Dl_plan}, {!Dl_vm}), but [Magic]'s
+    transform cache and lazily built instance indexes are not; use
+    {!pool_safe} before evaluating on a worker domain.  [Parallel]'s
+    worker domains are internal to {!Dl_parallel} and never call back
+    into this module. *)
 
-type strategy = Naive | Indexed | Magic | Parallel
+type strategy = Naive | Indexed | Magic | Parallel | Vm
 
 val to_string : strategy -> string
 val of_string : string -> strategy option
 
 val all : strategy list
-(** All strategies, for CLI enums and ablation loops. *)
+(** All strategies, for CLI enums and ablation loops.  [to_string],
+    [of_string], [all] and the MONDET_ENGINE warning text all derive
+    from one internal registry, so they can never disagree. *)
+
+val pool_safe : strategy -> strategy
+(** The nearest strategy safe to run from a worker domain of a shared
+    pool: [Parallel] (would re-enter the pool) and [Magic] (unguarded
+    transform cache) map to [Indexed]; [Naive], [Indexed] and [Vm] pass
+    through. *)
 
 val default : unit -> strategy
 val set_default : strategy -> unit

@@ -127,109 +127,29 @@ exception Stopped of Instance.t
 (* Slot-compiled rules: the fixpoint's inner loop.  Variables are numbered
    into slots of a mutable binding array, so matching a tuple is array
    reads/writes (undone via a trail on backtracking) instead of string-map
-   operations.  Atom order is still chosen dynamically per firing, but the
-   selectivity scan works directly on the compiled terms and the relations'
-   indexes — no intermediate lists. *)
+   operations.  Slot compilation and the selectivity primitives live in
+   {!Dl_plan} (layer 1 of the compile pipeline, shared with the {!Dl_vm}
+   bytecode backend); this matcher keeps the {e dynamic} discipline: atom
+   order is re-chosen per firing from live index statistics. *)
 
-type cterm = Cslot of int | Cconst of Const.t
+type cterm = Dl_plan.cterm = Cslot of int | Cconst of Const.t
 
-type catom = {
+type catom = Dl_plan.catom = {
   crel : string;
-  crid : Symtab.sym; (* interned [crel], cached at compile time *)
+  crid : Symtab.sym;
   cterms : cterm array;
 }
 
-type crule = {
+type crule = Dl_plan.crule = {
   nvars : int;
   cbody : catom array;
   chead : catom;
   crels : Symtab.sym list;
-      (* distinct body relation ids, for the relevance filter *)
 }
 
-let compile_rule (r : Datalog.rule) =
-  let tbl = Hashtbl.create 8 and n = ref 0 in
-  let slot v =
-    match Hashtbl.find_opt tbl v with
-    | Some s -> s
-    | None ->
-        let s = !n in
-        incr n;
-        Hashtbl.add tbl v s;
-        s
-  in
-  let cterm = function Cq.Var v -> Cslot (slot v) | Cq.Cst c -> Cconst c in
-  let catom (a : Cq.atom) =
-    {
-      crel = a.rel;
-      crid = Symtab.intern a.rel;
-      cterms = Array.of_list (List.map cterm a.args);
-    }
-  in
-  let cbody = Array.of_list (List.map catom r.body) in
-  let chead = catom r.head in
-  {
-    nvars = !n;
-    cbody;
-    chead;
-    crels =
-      Array.to_list cbody
-      |> List.map (fun a -> a.crid)
-      |> List.sort_uniq Int.compare;
-  }
-
-(* Compiled programs are cached under physical equality: the constructors
-   upstream memoize their programs, so repeated fixpoints over the same
-   query compile once. *)
-let compiled_cache : (Datalog.program * crule list) list ref = ref []
-
-let compile (p : Datalog.program) =
-  match List.find_opt (fun (p', _) -> p' == p) !compiled_cache with
-  | Some (_, c) -> c
-  | None ->
-      let c = List.map compile_rule p in
-      let keep =
-        if List.length !compiled_cache >= 32 then [] else !compiled_cache
-      in
-      compiled_cache := (p, c) :: keep;
-      c
-
-(* Smallest index bucket consistent with the bindings so far (the whole
-   relation if no position is bound); also reports the best bucket's
-   position/constant so the caller can fetch exactly those candidates. *)
-let select_candidates (a : catom) env src =
-  match Instance.index_id src a.crid with
-  | None -> []
-  | Some idx ->
-      let best = ref (Index.size idx) and where = ref None in
-      Array.iteri
-        (fun p t ->
-          let c = match t with Cconst c -> Some c | Cslot s -> env.(s) in
-          match c with
-          | None -> ()
-          | Some c ->
-              let n = Index.count idx p c in
-              if n < !best || !where = None then begin
-                best := n;
-                where := Some (p, c)
-              end)
-        a.cterms;
-      (match !where with
-      | None -> Index.all idx
-      | Some (p, c) -> Index.lookup idx p c)
-
-let estimate_atom (a : catom) env src =
-  match Instance.index_id src a.crid with
-  | None -> 0
-  | Some idx ->
-      let best = ref (Index.size idx) in
-      Array.iteri
-        (fun p t ->
-          match (match t with Cconst c -> Some c | Cslot s -> env.(s)) with
-          | Some c -> best := min !best (Index.count idx p c)
-          | None -> ())
-        a.cterms;
-      !best
+let compile = Dl_plan.compile
+let select_candidates = Dl_plan.select_candidates
+let estimate_atom = Dl_plan.estimate_atom
 
 (* Match [tup] against [a], binding fresh slots; returns the number of
    slots pushed on [trail] (to undo), or [-1] on mismatch (already

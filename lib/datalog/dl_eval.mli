@@ -51,7 +51,8 @@ val eval_naive : ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> Const.t a
 
 (** {2 Compiled-rule internals}
 
-    The slot-compiled representation behind {!fixpoint}, exported for
+    The slot-compiled representation behind {!fixpoint} — defined in
+    {!Dl_plan} (layer 1 of the compile pipeline) and re-exported here for
     {!Dl_parallel}, which drives the same per-rule matcher from several
     domains.  Everything here is reentrant: {!run_compiled} allocates its
     binding array and trail per call and only {e reads} the instances it
@@ -59,15 +60,15 @@ val eval_naive : ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> Const.t a
     {!Instance.index}; building one is a benign cache fill but makes the
     call a writer). *)
 
-type cterm = Cslot of int | Cconst of Const.t
+type cterm = Dl_plan.cterm = Cslot of int | Cconst of Const.t
 
-type catom = {
+type catom = Dl_plan.catom = {
   crel : string;
   crid : Symtab.sym;  (** interned [crel], cached at compile time *)
   cterms : cterm array;
 }
 
-type crule = {
+type crule = Dl_plan.crule = {
   nvars : int;
   cbody : catom array;
   chead : catom;
@@ -75,9 +76,10 @@ type crule = {
 }
 
 val compile : Datalog.program -> crule list
-(** Slot-compile a program.  Results are cached under physical equality
-    of the program; the cache is not thread-safe, so compile on the
-    coordinating thread before handing rules to workers. *)
+(** Slot-compile a program (alias of {!Dl_plan.compile}).  Results are
+    cached under physical equality of the program; the cache is
+    mutex-guarded, so a worker domain re-entering [compile] is safe —
+    compiling on the coordinating thread first merely warms the cache. *)
 
 val run_compiled :
   crule -> Instance.t array -> (Const.t option array -> bool) -> unit

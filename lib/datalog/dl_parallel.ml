@@ -49,6 +49,41 @@ let domains () =
       | None -> clamp (Domain.recommended_domain_count ()))
 
 (* ------------------------------------------------------------------ *)
+(* Matcher configuration: which per-rule matcher the workers run.  Both
+   enumerate exactly the same matches per unit, so the fixpoint is
+   identical; [Bytecode] trades the interpreted matcher's per-depth
+   selectivity rescans for a fixed plan (see {!Dl_vm}). *)
+
+type matcher = Slots | Bytecode
+
+let matcher_of_string = function
+  | "slots" -> Some Slots
+  | "bytecode" -> Some Bytecode
+  | _ -> None
+
+let env_matcher =
+  lazy
+    (match Sys.getenv_opt "MONDET_PAR_MATCHER" with
+    | None -> None
+    | Some s -> (
+        match matcher_of_string (String.trim s) with
+        | Some m -> Some m
+        | None ->
+            Printf.eprintf
+              "mondet: ignoring MONDET_PAR_MATCHER=%S (expected \
+               slots|bytecode)\n%!" s;
+            None))
+
+let requested_matcher : matcher option ref = ref None
+let set_matcher m = requested_matcher := Some m
+
+let matcher () =
+  match !requested_matcher with
+  | Some m -> m
+  | None -> (
+      match Lazy.force env_matcher with Some m -> m | None -> Slots)
+
+(* ------------------------------------------------------------------ *)
 (* A persistent pool of [size - 1] spawned domains plus the caller.  One
    batch at a time: [run] publishes a task, bumps the epoch, works as
    worker 0 itself, then blocks until every spawned worker has finished.
@@ -223,20 +258,22 @@ let prewarm body_rels insts =
       List.iter (fun r -> ignore (Instance.index_id inst r)) body_rels)
     insts
 
-(* One firing unit: body position [pos] of [rule] draws candidates from
-   delta chunk [chunk], positions before it from [old], after it from
-   [full].  [pos = -1] fires an empty-body rule (first round only — later
-   rounds cannot re-derive its head). *)
-type unit_ = { rule : Dl_eval.crule; pos : int; chunk : Instance.t }
+(* One firing unit: body position [pos] of rule [ri] ([rule] in compiled
+   form) draws candidates from delta chunk [chunk], positions before it
+   from [old], after it from [full].  [pos = -1] fires an empty-body rule
+   (first round only — later rounds cannot re-derive its head).  [ri]
+   indexes the program's rule list, so a bytecode worker can look up the
+   rule's {!Dl_vm.rule_prog} without re-deriving it. *)
+type unit_ = { rule : Dl_eval.crule; ri : int; pos : int; chunk : Instance.t }
 
 let round_units ~first ~delta chunks rules =
   let units = ref [] in
-  List.iter
-    (fun (cr : Dl_eval.crule) ->
+  List.iteri
+    (fun ri (cr : Dl_eval.crule) ->
       let nb = Array.length cr.cbody in
       if nb = 0 then begin
         if first then
-          units := { rule = cr; pos = -1; chunk = Instance.empty } :: !units
+          units := { rule = cr; ri; pos = -1; chunk = Instance.empty } :: !units
       end
       else if
         List.exists (fun r -> Instance.cardinal_id delta r > 0) cr.crels
@@ -250,7 +287,7 @@ let round_units ~first ~delta chunks rules =
             Array.iter
               (fun chunk ->
                 if Instance.cardinal_id chunk cr.cbody.(j).crid > 0 then
-                  units := { rule = cr; pos = j; chunk } :: !units)
+                  units := { rule = cr; ri; pos = j; chunk } :: !units)
               chunks
         done)
     rules;
@@ -259,6 +296,15 @@ let round_units ~first ~delta chunks rules =
 let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
   Dl_cancel.check cancel;
   let rules = Dl_eval.compile p in
+  (* bytecode compiled up front on the coordinating thread (warming the
+     mutex-guarded cache, keyed by program fingerprint); [Dl_vm.compile]
+     preserves rule order, so [vms.(u.ri)] is [u.rule]'s program *)
+  let mode = matcher () in
+  let vms =
+    match mode with
+    | Slots -> [||]
+    | Bytecode -> Array.of_list (Dl_vm.compile p)
+  in
   let body_rels =
     List.sort_uniq Int.compare
       (List.concat_map (fun (cr : Dl_eval.crule) -> cr.crels) rules)
@@ -275,10 +321,9 @@ let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
     let nunits = Array.length units in
     run pool (fun w ->
         let acc = ref Instance.empty in
-        let derive cr env =
+        let derive_fact f =
           if Atomic.get found then false
           else begin
-            let f = Dl_eval.chead_fact cr env in
             if not (Instance.mem f full) && not (Instance.mem f !acc) then begin
               acc := Instance.add f !acc;
               if stop f then Atomic.set found true
@@ -286,20 +331,32 @@ let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
             not (Atomic.get found)
           end
         in
+        let derive cr env = derive_fact (Dl_eval.chead_fact cr env) in
         let rec grab () =
           let u = Atomic.fetch_and_add next 1 in
           if u < nunits && not (Atomic.get found) then begin
-            let { rule = cr; pos; chunk } = units.(u) in
-            let nb = Array.length cr.cbody in
-            if nb = 0 then ignore (derive cr [||])
-            else begin
-              let sources = Array.make nb full in
-              for i = 0 to pos - 1 do
-                sources.(i) <- old
-              done;
-              sources.(pos) <- chunk;
-              Dl_eval.run_compiled cr sources (derive cr)
-            end;
+            let { rule = cr; ri; pos; chunk } = units.(u) in
+            (match mode with
+            | Bytecode ->
+                (* a raised Cancelled propagates through the pool's error
+                   list and re-raises at the barrier *)
+                let rp = vms.(ri) in
+                if pos = -1 then
+                  Dl_vm.exec rp.Dl_vm.naive ~full ~cancel derive_fact
+                else
+                  Dl_vm.exec rp.Dl_vm.semi.(pos) ~full ~old ~delta:chunk
+                    ~cancel derive_fact
+            | Slots ->
+                let nb = Array.length cr.cbody in
+                if nb = 0 then ignore (derive cr [||])
+                else begin
+                  let sources = Array.make nb full in
+                  for i = 0 to pos - 1 do
+                    sources.(i) <- old
+                  done;
+                  sources.(pos) <- chunk;
+                  Dl_eval.run_compiled cr sources (derive cr)
+                end);
             grab ()
           end
         in

@@ -41,6 +41,26 @@ val set_domains : int -> unit
 val domains : unit -> int
 (** The effective worker count the next evaluation will use. *)
 
+type matcher = Slots | Bytecode
+(** Which per-rule matcher the workers run on their units: [Slots] is the
+    interpreted slot matcher ({!Dl_eval.run_compiled}, dynamic
+    most-constrained-first ordering per firing), [Bytecode] executes the
+    rule's static plan lowered to register bytecode ({!Dl_vm.exec}).
+    Both enumerate exactly the same matches per unit, so the fixpoint —
+    and the determinism argument — are unchanged; only per-unit matching
+    cost differs.  Under [Bytecode] the compilation happens once on the
+    coordinating thread (the cache is mutex-guarded either way), and the
+    VM's in-loop cancellation probes are live inside workers: a deadline
+    can interrupt a unit mid-enumeration, raising at the round barrier. *)
+
+val set_matcher : matcher -> unit
+(** Select the worker matcher.  Overrides the [MONDET_PAR_MATCHER]
+    environment variable ([slots] | [bytecode]); the default is
+    [Slots]. *)
+
+val matcher : unit -> matcher
+(** The matcher the next evaluation will use. *)
+
 val shutdown : unit -> unit
 (** Join the worker pool (a no-op if none is live).  Idle domains are
     not free: every minor collection synchronizes all live domains, so a

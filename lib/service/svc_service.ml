@@ -427,12 +427,15 @@ let handle_batch t reqs : response list =
         (fun () ->
           List.iter
             (fun c ->
-              (* Indexed on workers: the Parallel strategy would re-enter
-                 the pool the workers themselves run on *)
+              (* workers run the nearest pool-safe engine: Parallel would
+                 re-enter the pool they themselves run on, Magic's
+                 transform cache is unguarded — both demote to Indexed;
+                 a vm/indexed/naive default passes through *)
               c.cout <-
                 Some
                   (exec ~cancel:c.ccancel (fun () ->
-                       c.cplan.pcompute (Some Dl_engine.Indexed))))
+                       c.cplan.pcompute
+                         (Some (Dl_engine.pool_safe (Dl_engine.default ()))))))
             cs)
         :: acc)
       groups []
@@ -537,8 +540,13 @@ let handle_concurrent t req : response =
                            | Some v -> Ok_ v
                            | None ->
                                let compute () =
+                                 (* concurrent connection workers: same
+                                    pool-safe demotion as the batch path *)
                                  exec ~cancel (fun () ->
-                                     p.pcompute (Some Dl_engine.Indexed))
+                                     p.pcompute
+                                       (Some
+                                          (Dl_engine.pool_safe
+                                             (Dl_engine.default ()))))
                                in
                                let r =
                                  if p.pworker_safe then compute ()

@@ -6,6 +6,7 @@ let () =
       ("datalog", Test_datalog.suite);
       ("magic", Test_magic.suite);
       ("parallel", Test_parallel.suite);
+      ("vm", Test_vm.suite);
       ("parse", Test_parse.suite);
       ("views", Test_views.suite);
       ("treewidth", Test_treewidth.suite);
