@@ -348,6 +348,58 @@ let service_tests =
     [ cold; warm; batch; key_digest 32; key_digest 2048 ]
 
 (* ------------------------------------------------------------------ *)
+(* Incremental-maintenance probes (Dl_incr): a cold materialization
+   build on the tc 128-chain vs repairing an existing one after
+   single-fact and batch-32 mutations.  Every run mutates and then
+   undoes, so the materialization re-enters each run in its start
+   state; the reported time is the mutate+undo PAIR (two repairs).
+   The headline comparison is incr/tc-128-assert-1 (two repairs)
+   against incr/tc-128-cold (one full fixpoint + counting build).     *)
+
+let incr_tests =
+  let q =
+    Parse.query ~goal:"T" "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y)."
+  in
+  let g = chain_graph 128 in
+  let xnode i = Const.named (Printf.sprintf "x%d" i) in
+  (* a 32-edge side chain hanging off node 0 *)
+  let side =
+    List.init 32 (fun i ->
+        Fact.make "E" [ (if i = 0 then node 0 else xnode (i - 1)); xnode i ])
+  in
+  (* pendant edge off the chain's end: a light assert (~129 new paths) *)
+  let pendant = [ Fact.make "E" [ node 128; xnode 0 ] ] in
+  (* mid-chain edge: a real DRed workload — the shortcut edges keep the
+     chain connected, so most over-deleted paths rederive *)
+  let mid = [ Fact.make "E" [ node 63; node 64 ] ] in
+  let cold =
+    Test.make ~name:"tc-128-cold"
+      (Staged.stage (fun () ->
+           ignore (Dl_incr.create q.Datalog.program g)))
+  in
+  let pair name start ops =
+    Test.make ~name
+      (Staged.stage
+         (let m = Dl_incr.create q.Datalog.program start in
+          fun () ->
+            List.iter
+              (fun (add, fs) ->
+                if add then Dl_incr.assert_facts m fs
+                else Dl_incr.retract_facts m fs)
+              ops))
+  in
+  Test.make_grouped ~name:"incr"
+    [
+      cold;
+      pair "tc-128-assert-1" g [ (true, pendant); (false, pendant) ];
+      pair "tc-128-retract-1" g [ (false, mid); (true, mid) ];
+      pair "tc-128-assert-32" g [ (true, side); (false, side) ];
+      pair "tc-128-retract-32"
+        (Db.union g (Db.of_list side))
+        [ (false, side); (true, side) ];
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bytecode-VM probes on the recursive workloads the parallel block
    also times, paired with the indexed engine run in the same process:
    the engine/vm-*-vm vs engine/vm-*-indexed deltas are the headline
@@ -504,12 +556,14 @@ let json ?(path = "BENCH_eval.json") () =
   let scale_rows = run scale_tests in
   let engine_rows = run engine_tests in
   let service_rows = run service_tests in
+  let incr_rows = run incr_tests in
   let vm_rows = run vm_tests in
   let par_rows = run par_tests in
   Dl_parallel.set_domains 1;
   Dl_parallel.shutdown ();
   let rows =
-    base_rows @ scale_rows @ engine_rows @ service_rows @ vm_rows @ par_rows
+    base_rows @ scale_rows @ engine_rows @ service_rows @ incr_rows @ vm_rows
+    @ par_rows
   in
   print_rows rows;
   let oc = open_out path in

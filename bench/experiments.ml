@@ -550,3 +550,120 @@ let e19 () =
   pf "  (vm and indexed share plan selection; the vm rows replace the@.";
   pf "   per-tuple environment interpretation with a register dispatch@.";
   pf "   loop — single-core container numbers, caveats as in E15)@."
+
+(* E20 — incremental maintenance vs cold re-evaluation.
+
+   Methodology: three transitive-closure workloads with different
+   rederivation profiles — a 128-chain with shortcut edges (as in the
+   engine rows), a 12x12 grid (right/down edges: wide fixpoint, every
+   internal cut genuinely loses paths), and a 32-diamond chain (every
+   deleted arm rederives through the other arm, DRed's best case).
+   For each: a cold materialization build ([Dl_incr.create], the price
+   a cache-missed eval pays), then averaged single-fact and batch-32
+   mutations in both directions — asserting fresh edges / retracting
+   them again, and retracting an existing internal edge / re-asserting
+   it.  After all mutations the maintained fixpoint is asserted equal
+   to a cold [Dl_eval.fixpoint] of the final base (the same oracle the
+   qcheck differential suite uses).  Reported speedups are cold-build
+   time over per-mutation repair time. *)
+let e20 () =
+  pf "@.### E20 — incremental maintenance vs cold re-evaluation ###@.";
+  let tc =
+    Parse.query ~goal:"T" "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y)."
+  in
+  let e a b = Fact.make "E" [ a; b ] in
+  let node i = Const.named (Printf.sprintf "n%d" i) in
+  let xnode i = Const.named (Printf.sprintf "x%d" i) in
+  let chain n =
+    Instance.of_list
+      (List.init n (fun i -> e (node i) (node (i + 1)))
+      @ (List.init (max 0 (n - 5)) (fun i -> i)
+        |> List.filter (fun i -> i mod 5 = 0)
+        |> List.map (fun i -> e (node i) (node (i + 5)))))
+  in
+  let grid n =
+    let g i j = Const.named (Printf.sprintf "g%d_%d" i j) in
+    Instance.of_list
+      (List.concat
+         (List.init n (fun i ->
+              List.concat
+                (List.init n (fun j ->
+                     (if i < n - 1 then [ e (g i j) (g (i + 1) j) ] else [])
+                     @ if j < n - 1 then [ e (g i j) (g i (j + 1)) ] else [])))))
+  in
+  let diamond k =
+    let a i = Const.named (Printf.sprintf "a%d" i)
+    and b i = Const.named (Printf.sprintf "b%d" i) in
+    Instance.of_list
+      (List.concat
+         (List.init k (fun i ->
+              [
+                e (node i) (a i); e (node i) (b i);
+                e (a i) (node (i + 1)); e (b i) (node (i + 1));
+              ])))
+  in
+  let side anchor =
+    List.init 32 (fun i ->
+        e (if i = 0 then anchor else xnode (i - 1)) (xnode i))
+  in
+  let g12 = Const.named "g11_11" and a5 = Const.named "a5" in
+  let workloads =
+    [
+      ("tc-chain-128", chain 128,
+       [ e (node 128) (xnode 0) ], side (node 128), [ e (node 63) (node 64) ]);
+      ("grid-12x12", grid 12,
+       [ e g12 (xnode 0) ], side g12, [ e (Const.named "g5_5") (Const.named "g6_5") ]);
+      ("diamond-32", diamond 32,
+       [ e (node 32) (xnode 0) ], side (node 32), [ e (node 5) a5 ]);
+    ]
+  in
+  let reps = 5 in
+  let avg_pair f g =
+    let ta = ref 0. and tb = ref 0. in
+    for _ = 1 to reps do
+      let (), a = time f in
+      ta := !ta +. a;
+      let (), b = time g in
+      tb := !tb +. b
+    done;
+    (!ta /. float_of_int reps, !tb /. float_of_int reps)
+  in
+  pf "  %-14s %-18s %10s %10s %s@." "workload" "mutation" "repair" "cold"
+    "speedup";
+  List.iter
+    (fun (name, g, fresh1, fresh32, mid1) ->
+      let m, tcold = time (fun () -> Dl_incr.create tc.Datalog.program g) in
+      pf "  %-14s %-18s %10s %8.4fs %s@." name "(cold build)" "-" tcold "-";
+      let row what ta =
+        pf "  %-14s %-18s %8.5fs %8.4fs %7.1fx@." name what ta tcold
+          (tcold /. ta)
+      in
+      let ta, tr =
+        avg_pair
+          (fun () -> Dl_incr.assert_facts m fresh1)
+          (fun () -> Dl_incr.retract_facts m fresh1)
+      in
+      row "assert-1-fresh" ta;
+      row "retract-1-fresh" tr;
+      let td, tb =
+        avg_pair
+          (fun () -> Dl_incr.retract_facts m mid1)
+          (fun () -> Dl_incr.assert_facts m mid1)
+      in
+      row "retract-1-internal" td;
+      row "assert-1-internal" tb;
+      let ta32, tr32 =
+        avg_pair
+          (fun () -> Dl_incr.assert_facts m fresh32)
+          (fun () -> Dl_incr.retract_facts m fresh32)
+      in
+      row "assert-32" ta32;
+      row "retract-32" tr32;
+      assert (
+        Instance.equal (Dl_incr.full m)
+          (Dl_eval.fixpoint (Dl_incr.program m) (Dl_incr.base m))))
+    workloads;
+  pf "  (repair = one maintenance pass over an existing materialization;@.";
+  pf "   cold = Dl_incr.create, a full fixpoint + derivation counting —@.";
+  pf "   what a cache-missed eval pays.  Single-core container numbers,@.";
+  pf "   caveats as in E15)@."

@@ -33,6 +33,7 @@ let report () =
   Experiments.e15 ();
   Experiments.e16 ();
   Experiments.e19 ();
+  Experiments.e20 ();
   Format.printf "@.report complete.@."
 
 let () =

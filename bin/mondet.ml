@@ -380,7 +380,9 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the decision service: named sessions of loaded \
-          programs/views/instances, an LRU result cache (optionally \
+          programs/views/instances, $(b,assert)/$(b,retract) verbs that \
+          edit a session instance in place (incrementally repairing its \
+          materialized fixpoints), an LRU result cache (optionally \
           persisted across restarts with $(b,--cache-file)), per-request \
           deadlines, and — with $(b,--tcp) — concurrent connection \
           handling on a fixed pool of worker domains with shed-not-queue \
@@ -413,9 +415,9 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:
          "One-shot the decision service on a request script: all lines \
-          form one batch (loads execute at their position; cache-missed \
-          eval/holds requests overlap on the domain pool) and the \
-          responses print in request order.")
+          form one batch (loads and assert/retract mutations execute at \
+          their position; cache-missed eval/holds requests overlap on \
+          the domain pool) and the responses print in request order.")
     Term.(
       ret
         (const run $ script_arg $ cache_arg $ sequential_arg $ cache_file_arg

@@ -100,6 +100,32 @@ let eval ?strategy ?cancel (q : Datalog.query) inst =
       Dl_eval.eval ?cancel m.Dl_magic.query
         (Instance.add (Dl_magic.seed_free m) inst)
 
+(* Whole-program fixpoints, for the maintenance layer ({!Dl_incr}) and
+   anyone else who needs the materialized instance rather than goal
+   tuples.  [Magic] is goal-directed — with no goal to demand-transform
+   there is nothing to specialize — so it falls back to [Indexed], the
+   engine it composes with anyway. *)
+let fixpoint ?strategy ?cancel p inst =
+  match resolve strategy with
+  | Naive -> Dl_eval.fixpoint_naive ?cancel p inst
+  | Indexed | Magic -> Dl_eval.fixpoint ?cancel p inst
+  | Vm -> Dl_vm.fixpoint ?cancel p inst
+  | Parallel -> Dl_parallel.fixpoint ?cancel p inst
+
+(* Delta-start continuation of a closed [old]: the insertion path of
+   incremental maintenance.  [Naive] has no delta machinery, so it
+   recomputes from the union and diffs — the differential oracle for the
+   three real delta engines. *)
+let fixpoint_delta ?strategy ?cancel p ~old ~delta =
+  match resolve strategy with
+  | Naive ->
+      let seed = Instance.union old delta in
+      let full = Dl_eval.fixpoint_naive ?cancel p seed in
+      (full, Instance.diff full seed)
+  | Indexed | Magic -> Dl_eval.fixpoint_delta ?cancel p ~old ~delta
+  | Vm -> Dl_vm.fixpoint_delta ?cancel p ~old ~delta
+  | Parallel -> Dl_parallel.fixpoint_delta ?cancel p ~old ~delta
+
 let tuple_equal a b =
   Array.length a = Array.length b && Array.for_all2 Const.equal a b
 

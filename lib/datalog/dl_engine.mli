@@ -101,6 +101,32 @@ val set_default : strategy -> unit
     [set_default] can never make one evaluation mix strategies across
     rounds. *)
 
+val fixpoint :
+  ?strategy:strategy ->
+  ?cancel:Dl_cancel.t ->
+  Datalog.program ->
+  Instance.t ->
+  Instance.t
+(** The materialized least fixpoint itself (the input instance extended
+    with every derivable IDB fact).  [Magic] falls back to [Indexed]:
+    with no goal there is no demand pattern to specialize for. *)
+
+val fixpoint_delta :
+  ?strategy:strategy ->
+  ?cancel:Dl_cancel.t ->
+  Datalog.program ->
+  old:Instance.t ->
+  delta:Instance.t ->
+  Instance.t * Instance.t
+(** Delta-start continuation: [old] must already be closed under the
+    program; returns [(full, derived)] where [full] is the fixpoint of
+    [old ∪ delta] and [derived] the facts beyond [old ∪ delta].  Cost is
+    proportional to the derivations touching [delta].  This is the rule
+    firing path of the incremental-maintenance layer ({!Dl_incr}), so
+    every strategy serves maintenance fixpoints; [Naive] recomputes from
+    scratch (the maintenance differential oracle), [Magic] falls back to
+    [Indexed] as for {!fixpoint}. *)
+
 val eval :
   ?strategy:strategy ->
   ?cancel:Dl_cancel.t ->

@@ -240,6 +240,32 @@ let chead_fact (cr : crule) env =
          | Cconst _ -> assert false (* ruled out by Datalog.rule *))
        cr.chead.cterms)
 
+(* One semi-naive round over [rules]: for each rule and each body position
+   whose relation has delta facts, match that occurrence against the delta,
+   earlier atoms against the old facts [old = full \ delta] and later ones
+   against the full instance — each new derivation is found exactly once.
+   [derive] is the per-match continuation (it dedups against [full] and
+   accumulates into the [fresh] ref it is given). *)
+let fire_semi_round rules derive ~old ~delta full =
+  let fresh = ref Instance.empty in
+  List.iter
+    (fun cr ->
+      if List.exists (fun r -> Instance.cardinal_id delta r > 0) cr.crels
+      then begin
+        let nb = Array.length cr.cbody in
+        let sources = Array.make nb full in
+        for j = 0 to nb - 1 do
+          if Instance.cardinal_id delta cr.cbody.(j).crid > 0 then begin
+            sources.(j) <- delta;
+            run_compiled cr sources (derive cr full fresh);
+            sources.(j) <- old
+          end
+          else sources.(j) <- old
+        done
+      end)
+    rules;
+  !fresh
+
 let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
   Dl_cancel.check cancel;
   let rules = compile p in
@@ -261,30 +287,7 @@ let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
       rules;
     !fresh
   in
-  (* delta round: for each rule and each body position whose relation has
-     delta facts, match that occurrence against the delta, earlier atoms
-     against the old facts and later ones against the full instance — each
-     new derivation is found exactly once. *)
-  let fire_semi ~old ~delta full =
-    let fresh = ref Instance.empty in
-    List.iter
-      (fun cr ->
-        if List.exists (fun r -> Instance.cardinal_id delta r > 0) cr.crels
-        then begin
-          let nb = Array.length cr.cbody in
-          let sources = Array.make nb full in
-          for j = 0 to nb - 1 do
-            if Instance.cardinal_id delta cr.cbody.(j).crid > 0 then begin
-              sources.(j) <- delta;
-              run_compiled cr sources (derive cr full fresh);
-              sources.(j) <- old
-            end
-            else sources.(j) <- old
-          done
-        end)
-      rules;
-    !fresh
-  in
+  let fire_semi ~old ~delta full = fire_semi_round rules derive ~old ~delta full in
   (* [old] is the previous round's [full], so [full = old ∪ delta] and the
      semi-naive split needs no set difference; [derive] only ever puts facts
      absent from [full] into the delta, so no deduplication is needed
@@ -301,6 +304,30 @@ let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
   try loop inst (fire_naive inst) with Stopped i -> i
 
 let fixpoint ?cancel p inst = fixpoint_gen ?cancel p inst
+
+(* Delta-start entry: resume the semi-naive iteration mid-run, for the
+   incremental-maintenance layer ({!Dl_incr}).  [old] is assumed closed
+   under [p] (no rule firing entirely inside [old] derives a missing
+   fact); the rounds therefore only chase derivations touching [delta].
+   Also accumulates every fact derived beyond [old ∪ delta], so callers
+   get delta-sized bookkeeping for free. *)
+let fixpoint_delta ?(cancel = Dl_cancel.none) p ~old ~delta =
+  Dl_cancel.check cancel;
+  let rules = compile p in
+  let derive cr full fresh env =
+    let f = chead_fact cr env in
+    if not (Instance.mem f full) then fresh := Instance.add f !fresh;
+    true
+  in
+  let rec loop old delta acc =
+    Dl_cancel.check cancel;
+    let full = Instance.union old delta in
+    if Instance.is_empty delta then (full, acc)
+    else
+      let fresh = fire_semi_round rules derive ~old ~delta full in
+      loop full fresh (Instance.union acc fresh)
+  in
+  loop (Instance.diff old delta) delta Instance.empty
 
 let eval ?cancel (q : Datalog.query) inst =
   let fp = fixpoint ?cancel q.program inst in

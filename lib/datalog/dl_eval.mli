@@ -28,6 +28,21 @@ val fixpoint : ?cancel:Dl_cancel.t -> Datalog.program -> Instance.t -> Instance.
     entry): a cancelled or expired token raises {!Dl_cancel.Cancelled}
     without corrupting any shared cache. *)
 
+val fixpoint_delta :
+  ?cancel:Dl_cancel.t ->
+  Datalog.program ->
+  old:Instance.t ->
+  delta:Instance.t ->
+  Instance.t * Instance.t
+(** [fixpoint_delta p ~old ~delta] resumes the semi-naive iteration
+    mid-run: [old] must be closed under the rules of [p] (no rule firing
+    entirely within [old] derives a missing fact) and [delta] is a set of
+    newly arrived facts.  Returns [(full, derived)] where [full] is the
+    least fixpoint of [p] over [old ∪ delta] and [derived] are the facts
+    of [full] beyond [old ∪ delta].  This is the insertion path of
+    incremental maintenance ({!Dl_incr}): cost is proportional to the
+    derivations touching [delta], never to a re-derivation of [old]. *)
+
 val eval : ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> Const.t array list
 (** Goal tuples of the query on the instance. *)
 

@@ -1,0 +1,332 @@
+(* Incremental view maintenance: counting for the non-recursive strata,
+   Delete-and-Rederive (DRed) for the recursive ones.
+
+   The maintained invariant is [ifull = Dl_engine.fixpoint iprogram ibase]
+   with membership of every fact read as [base ∨ derived].  The program is
+   split into the SCC condensation of its IDB dependency graph and strata
+   are repaired bottom-up, so when stratum k runs, every relation its rule
+   bodies mention (EDBs and lower IDBs) already has its *new* membership
+   in [state] and its *old* membership in the saved pre-mutation fixpoint.
+   Two instances accumulate the finalized membership deltas — [dall]
+   (deleted) and [aall] (added) — and are the only channel between
+   strata. *)
+
+type stratum = {
+  spreds : string list;  (* IDB predicates of this SCC, sorted *)
+  srecursive : bool;
+  srules : Datalog.program;  (* rules whose head is in [spreds] *)
+  scrules : Dl_eval.crule list;  (* the same, slot-compiled once *)
+  scounts : (Fact.t, int) Hashtbl.t;
+      (* derivation counts; only populated when [not srecursive] *)
+}
+
+type t = {
+  iprogram : Datalog.program;
+  istrategy : Dl_engine.strategy option;
+  istrata : stratum list;  (* in topological (bottom-up) order *)
+  mutable ibase : Instance.t;
+  mutable ifull : Instance.t;
+  mutable iok : bool;  (* false while (or after) a mutation went wrong *)
+}
+
+let program t = t.iprogram
+let strategy t = t.istrategy
+let base t = t.ibase
+let full t = t.ifull
+let valid t = t.iok
+let strata t = List.map (fun s -> (s.spreds, s.srecursive)) t.istrata
+
+(* ---------- stratification ---------- *)
+
+(* SCCs of the IDB dependency graph via the transitive [depends_on]
+   (mutual reachability), then Kahn-style topological selection of the
+   condensation.  Quadratic in the number of IDBs — programs here have a
+   handful of predicates, so clarity wins over a linear-time SCC pass. *)
+let stratify p =
+  let dep = Datalog.depends_on p in
+  let rec comps = function
+    | [] -> []
+    | a :: rest ->
+        let same, other = List.partition (fun b -> dep a b && dep b a) rest in
+        (a :: same) :: comps other
+  in
+  let cs = comps (Datalog.idbs p) in
+  let uses c c' = List.exists (fun a -> List.exists (fun b -> dep a b) c') c in
+  let rec topo acc = function
+    | [] -> List.rev acc
+    | remaining ->
+        let ready, blocked =
+          List.partition
+            (fun c ->
+              not (List.exists (fun c' -> c != c' && uses c c') remaining))
+            remaining
+        in
+        if ready = [] then invalid_arg "Dl_incr.stratify: not a DAG"
+        else topo (List.rev_append ready acc) blocked
+  in
+  topo [] cs
+
+let make_stratum p comp =
+  let srules =
+    List.filter (fun r -> List.mem r.Datalog.head.Cq.rel comp) p
+  in
+  let srecursive =
+    match comp with [ a ] -> Datalog.depends_on p a a | _ -> true
+  in
+  {
+    spreds = List.sort String.compare comp;
+    srecursive;
+    srules;
+    scrules = Dl_eval.compile srules;
+    scounts = Hashtbl.create 64;
+  }
+
+(* ---------- derivation enumeration ---------- *)
+
+(* Enumerate, for every rule, every body match whose *leftmost* atom
+   drawing from [delta] sits at position j: positions left of j draw from
+   [lo], j from [delta], positions right of j from [hi].  With
+   [lo = hi ∖ delta] this produces each match using at least one [delta]
+   fact exactly once — the invariant the counting passes rely on. *)
+let fire_split crules ~delta ~lo ~hi k =
+  List.iter
+    (fun cr ->
+      if List.exists (fun r -> Instance.cardinal_id delta r > 0) cr.Dl_eval.crels
+      then begin
+        let nb = Array.length cr.Dl_eval.cbody in
+        let sources = Array.make nb hi in
+        for j = 0 to nb - 1 do
+          if Instance.cardinal_id delta cr.Dl_eval.cbody.(j).Dl_eval.crid > 0
+          then begin
+            sources.(j) <- delta;
+            Dl_eval.run_compiled cr sources (fun env ->
+                k (Dl_eval.chead_fact cr env);
+                true);
+            sources.(j) <- lo
+          end
+          else sources.(j) <- lo
+        done
+      end)
+    crules
+
+let count counts f =
+  match Hashtbl.find_opt counts f with Some c -> c | None -> 0
+
+let bump counts f d =
+  let c = count counts f + d in
+  if c = 0 then Hashtbl.remove counts f else Hashtbl.replace counts f c
+
+(* ---------- create ---------- *)
+
+let create ?strategy ?(cancel = Dl_cancel.none) p inst =
+  Datalog.validate p;
+  let strata = List.map (make_stratum p) (stratify p) in
+  let state = ref inst in
+  List.iter
+    (fun s ->
+      Dl_cancel.check cancel;
+      if s.srecursive then
+        state := Dl_engine.fixpoint ?strategy ~cancel s.srules !state
+      else begin
+        (* All body predicates live strictly below, so one full
+           enumeration over the state seen so far counts every
+           derivation of the stratum exactly once. *)
+        List.iter
+          (fun cr ->
+            let sources = Array.make (Array.length cr.Dl_eval.cbody) !state in
+            Dl_eval.run_compiled cr sources (fun env ->
+                bump s.scounts (Dl_eval.chead_fact cr env) 1;
+                true))
+          s.scrules;
+        Hashtbl.iter
+          (fun f _ ->
+            if not (Instance.mem f !state) then state := Instance.add f !state)
+          s.scounts
+      end)
+    strata;
+  {
+    iprogram = p;
+    istrategy = strategy;
+    istrata = strata;
+    ibase = inst;
+    ifull = !state;
+    iok = true;
+  }
+
+(* ---------- rederivation (DRed phase 2) ---------- *)
+
+(* Head-bound one-step derivability: seed the environment by unifying the
+   rule head with the fact, then let the indexed matcher check the body
+   against the deletion-free state. *)
+let unify_head (head : Cq.atom) (f : Fact.t) =
+  let args = f.Fact.args in
+  if
+    (not (String.equal head.Cq.rel f.Fact.rel))
+    || List.length head.Cq.args <> Array.length args
+  then None
+  else
+    let rec go i env = function
+      | [] -> Some env
+      | Cq.Var v :: rest -> (
+          match Smap.find_opt v env with
+          | Some c -> if Const.equal c args.(i) then go (i + 1) env rest else None
+          | None -> go (i + 1) (Smap.add v args.(i) env) rest)
+      | Cq.Cst c :: rest ->
+          if Const.equal c args.(i) then go (i + 1) env rest else None
+    in
+    go 0 Smap.empty head.Cq.args
+
+let rederivable srules state1 f =
+  List.exists
+    (fun r ->
+      match unify_head r.Datalog.head f with
+      | None -> false
+      | Some env ->
+          let found = ref false in
+          Dl_eval.match_body state1 r.Datalog.body env (fun _ ->
+              found := true;
+              false);
+          !found)
+    srules
+
+(* ---------- apply ---------- *)
+
+let apply ?(cancel = Dl_cancel.none) t ~adds ~dels =
+  if not t.iok then
+    invalid_arg "Dl_incr: materialization poisoned by a cancelled mutation";
+  (* Normalize to real base edits (sets, restricted to actual changes):
+     retracting an absent fact and re-asserting a present one are no-ops
+     and must not poison anything. *)
+  let del_inst =
+    Instance.of_list (List.filter (fun f -> Instance.mem f t.ibase) dels)
+  in
+  let add_inst =
+    Instance.of_list
+      (List.filter (fun f -> not (Instance.mem f t.ibase)) adds)
+  in
+  if Instance.is_empty del_inst && Instance.is_empty add_inst then ()
+  else begin
+    t.iok <- false;
+    let old_full = t.ifull in
+    let new_base =
+      Instance.union (Instance.diff t.ibase del_inst) add_inst
+    in
+    let is_idb f = Datalog.is_idb t.iprogram f.Fact.rel in
+    (* EDB membership is base membership: those deltas are final now.
+       IDB base edits only *seed* their own stratum — a retracted but
+       still-derivable fact, or an asserted already-derived one, must not
+       propagate at all. *)
+    let edb_del = Instance.filter (fun f -> not (is_idb f)) del_inst in
+    let edb_add = Instance.filter (fun f -> not (is_idb f)) add_inst in
+    let idb_del = Instance.filter is_idb del_inst in
+    let idb_add = Instance.filter is_idb add_inst in
+    let state = ref (Instance.union (Instance.diff old_full edb_del) edb_add) in
+    let dall = ref edb_del in
+    let aall = ref edb_add in
+    List.iter
+      (fun s ->
+        Dl_cancel.check cancel;
+        let in_stratum f = List.mem f.Fact.rel s.spreds in
+        let local_del = Instance.filter in_stratum idb_del in
+        let local_add =
+          Instance.filter
+            (fun f -> in_stratum f && not (Instance.mem f !state))
+            idb_add
+        in
+        if not s.srecursive then begin
+          (* Counting repair: one pass enumerating lost derivations
+             against the old state, one enumerating gained derivations
+             against the new, each derivation exactly once (leftmost
+             delta position); then recompute membership of every touched
+             fact.  Base edits to the stratum's own predicate join the
+             touched set and go through the same membership formula. *)
+          let touched = Hashtbl.create 16 in
+          let touch f = if not (Hashtbl.mem touched f) then Hashtbl.add touched f () in
+          if not (Instance.is_empty !dall) then
+            fire_split s.scrules ~delta:!dall
+              ~lo:(Instance.diff old_full !dall)
+              ~hi:old_full
+              (fun f ->
+                bump s.scounts f (-1);
+                touch f);
+          if not (Instance.is_empty !aall) then
+            fire_split s.scrules ~delta:!aall
+              ~lo:(Instance.diff !state !aall)
+              ~hi:!state
+              (fun f ->
+                bump s.scounts f 1;
+                touch f);
+          Instance.iter touch local_del;
+          Instance.iter touch local_add;
+          let fin = ref Instance.empty in
+          let fout = ref Instance.empty in
+          Hashtbl.iter
+            (fun f () ->
+              let now = Instance.mem f new_base || count s.scounts f > 0 in
+              let was = Instance.mem f !state in
+              if now && not was then fin := Instance.add f !fin
+              else if was && not now then fout := Instance.add f !fout)
+            touched;
+          state := Instance.union (Instance.diff !state !fout) !fin;
+          dall := Instance.union !dall !fout;
+          aall := Instance.union !aall !fin
+        end
+        else begin
+          (* DRed.  Phase 1: over-delete every stratum fact with an old
+             derivation touching a deleted fact, frontier round by round
+             over the OLD state — facts asserted in the new base are
+             never over-deleted (membership holds regardless). *)
+          let d = ref Instance.empty in
+          let freshly = ref Instance.empty in
+          let note f =
+            if (not (Instance.mem f !d)) && not (Instance.mem f new_base)
+            then begin
+              d := Instance.add f !d;
+              freshly := Instance.add f !freshly
+            end
+          in
+          Instance.iter note local_del;
+          let frontier = ref (Instance.union !dall !freshly) in
+          while not (Instance.is_empty !frontier) do
+            Dl_cancel.check cancel;
+            freshly := Instance.empty;
+            fire_split s.scrules ~delta:!frontier ~lo:old_full ~hi:old_full
+              note;
+            frontier := !freshly
+          done;
+          (* Phase 2: one-step rederive each over-deleted fact against
+             the deletion-free state. *)
+          let state1 = Instance.diff !state !d in
+          let r = ref Instance.empty in
+          Instance.iter
+            (fun f -> if rederivable s.srules state1 f then r := Instance.add f !r)
+            !d;
+          Dl_cancel.check cancel;
+          (* Phase 3: close under insertions (lower-strata additions,
+             rederived survivors, asserted seeds) with a delta fixpoint —
+             this is where the engine strategies serve maintenance. *)
+          let delta = Instance.union !aall (Instance.union !r local_add) in
+          let full2, derived =
+            if Instance.is_empty delta then (state1, Instance.empty)
+            else
+              Dl_engine.fixpoint_delta ?strategy:t.istrategy ~cancel s.srules
+                ~old:state1 ~delta
+          in
+          let out_del = Instance.diff !d full2 in
+          let out_add =
+            Instance.filter
+              (fun f -> not (Instance.mem f !state))
+              (Instance.union local_add derived)
+          in
+          state := full2;
+          dall := Instance.union !dall out_del;
+          aall := Instance.union !aall out_add
+        end)
+      t.istrata;
+    t.ibase <- new_base;
+    t.ifull <- !state;
+    t.iok <- true
+  end
+
+let assert_facts ?cancel t facts = apply ?cancel t ~adds:facts ~dels:[]
+let retract_facts ?cancel t facts = apply ?cancel t ~adds:[] ~dels:facts

@@ -293,7 +293,12 @@ let round_units ~first ~delta chunks rules =
     rules;
   Array.of_list !units
 
-let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
+(* The shared sharded-round core.  [start] selects the entry point:
+   [`Cold inst] runs the classic first-round-naive iteration from
+   scratch; [`Delta (old, delta)] resumes mid-iteration for incremental
+   maintenance ([old] closed under [p]).  Returns the fixpoint and the
+   facts derived beyond the starting state. *)
+let fixpoint_core ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p start =
   Dl_cancel.check cancel;
   let rules = Dl_eval.compile p in
   (* bytecode compiled up front on the coordinating thread (warming the
@@ -372,19 +377,25 @@ let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
   (* the cancellation probe sits at the round boundary, where the pool is
      parked: an abort raises on the coordinating thread only and leaves
      every worker idle and every shared cache complete *)
-  let rec loop ~first old delta =
+  let rec loop ~first old delta acc =
     Dl_cancel.check cancel;
     let full = Instance.union old delta in
-    if Instance.is_empty delta || Atomic.get found then full
+    if Instance.is_empty delta || Atomic.get found then (full, acc)
     else begin
       let chunks = split_delta (2 * nworkers) delta in
       prewarm body_rels (full :: old :: Array.to_list chunks);
       let units = round_units ~first ~delta chunks rules in
       let fresh = fire_round ~old ~full units in
-      loop ~first:false full fresh
+      loop ~first:false full fresh (Instance.union acc fresh)
     end
   in
-  loop ~first:true Instance.empty inst
+  match start with
+  | `Cold inst -> loop ~first:true Instance.empty inst Instance.empty
+  | `Delta (old, delta) ->
+      loop ~first:false (Instance.diff old delta) delta Instance.empty
+
+let fixpoint_gen ?stop ?cancel p inst =
+  fst (fixpoint_core ?stop ?cancel p (`Cold inst))
 
 let fixpoint ?stop ?cancel p inst =
   if domains () = 1 then
@@ -395,6 +406,14 @@ let fixpoint ?stop ?cancel p inst =
            1-sized pool degenerates to sequential evaluation anyway *)
         fixpoint_gen ?stop ?cancel p inst
   else fixpoint_gen ?stop ?cancel p inst
+
+(* Delta-start entry, same contract as {!Dl_eval.fixpoint_delta}; the
+   delta rounds shard exactly like the cold iteration's.  With one
+   effective domain the sequential engine is strictly better (no
+   chunking, no barrier), so delegate outright. *)
+let fixpoint_delta ?cancel p ~old ~delta =
+  if domains () = 1 then Dl_eval.fixpoint_delta ?cancel p ~old ~delta
+  else fixpoint_core ?cancel p (`Delta (old, delta))
 
 let eval ?cancel (q : Datalog.query) inst =
   Instance.tuples (fixpoint ?cancel q.program inst) q.goal

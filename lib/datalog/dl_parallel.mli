@@ -83,6 +83,17 @@ val fixpoint :
     pool is parked: a cancelled token raises {!Dl_cancel.Cancelled}
     leaving the pool reusable and every shared cache complete. *)
 
+val fixpoint_delta :
+  ?cancel:Dl_cancel.t ->
+  Datalog.program ->
+  old:Instance.t ->
+  delta:Instance.t ->
+  Instance.t * Instance.t
+(** Delta-start semi-naive rounds with the same sharding as {!fixpoint};
+    contract as {!Dl_eval.fixpoint_delta}.  With one effective domain it
+    delegates to the sequential engine outright (no chunking, no
+    barrier). *)
+
 val eval : ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> Const.t array list
 (** All goal tuples, via the full parallel fixpoint. *)
 

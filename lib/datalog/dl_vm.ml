@@ -405,6 +405,26 @@ let exec (prog : program) ~full ?(old = Instance.empty)
 
 exception Stopped of Instance.t
 
+(* One semi-naive round: dispatch every applicable delta variant through
+   [exec].  [derive] dedups against [full] and accumulates into the
+   [fresh] ref it is given. *)
+let fire_semi_round rules ~cancel derive ~old ~delta full =
+  let fresh = ref Instance.empty in
+  List.iter
+    (fun rp ->
+      if
+        List.exists
+          (fun r -> Instance.cardinal_id delta r > 0)
+          rp.source.Dl_plan.crels
+      then
+        Array.iteri
+          (fun j prog ->
+            if Instance.cardinal_id delta rp.source.Dl_plan.cbody.(j).crid > 0
+            then exec prog ~full ~old ~delta ~cancel (derive full fresh))
+          rp.semi)
+    rules;
+  !fresh
+
 let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
   Dl_cancel.check cancel;
   let rules = compile p in
@@ -423,22 +443,7 @@ let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
     !fresh
   in
   let fire_semi ~old ~delta full =
-    let fresh = ref Instance.empty in
-    List.iter
-      (fun rp ->
-        if
-          List.exists
-            (fun r -> Instance.cardinal_id delta r > 0)
-            rp.source.Dl_plan.crels
-        then
-          Array.iteri
-            (fun j prog ->
-              if
-                Instance.cardinal_id delta rp.source.Dl_plan.cbody.(j).crid > 0
-              then exec prog ~full ~old ~delta ~cancel (derive full fresh))
-            rp.semi)
-      rules;
-    !fresh
+    fire_semi_round rules ~cancel derive ~old ~delta full
   in
   (* [old] is the previous round's [full], so [full = old ∪ delta]; the
      round-boundary probe is kept in addition to the in-loop cancel-probe
@@ -452,6 +457,26 @@ let fixpoint_gen ?(stop = fun _ -> false) ?(cancel = Dl_cancel.none) p inst =
   try loop inst (fire_naive inst) with Stopped i -> i
 
 let fixpoint ?cancel p inst = fixpoint_gen ?cancel p inst
+
+(* Delta-start entry, same contract as {!Dl_eval.fixpoint_delta} but with
+   every firing dispatched through the bytecode matcher (so deadline
+   probes also run mid-round, via the cancel-probe opcode). *)
+let fixpoint_delta ?(cancel = Dl_cancel.none) p ~old ~delta =
+  Dl_cancel.check cancel;
+  let rules = compile p in
+  let derive full fresh f =
+    if not (Instance.mem f full) then fresh := Instance.add f !fresh;
+    true
+  in
+  let rec loop old delta acc =
+    Dl_cancel.check cancel;
+    let full = Instance.union old delta in
+    if Instance.is_empty delta then (full, acc)
+    else
+      let fresh = fire_semi_round rules ~cancel derive ~old ~delta full in
+      loop full fresh (Instance.union acc fresh)
+  in
+  loop (Instance.diff old delta) delta Instance.empty
 
 let eval ?cancel (q : Datalog.query) inst =
   Instance.tuples (fixpoint ?cancel q.program inst) q.goal

@@ -77,6 +77,17 @@ val fixpoint :
 (** Least fixpoint via bytecode execution; same contract as
     {!Dl_eval.fixpoint}. *)
 
+val fixpoint_delta :
+  ?cancel:Dl_cancel.t ->
+  Datalog.program ->
+  old:Instance.t ->
+  delta:Instance.t ->
+  Instance.t * Instance.t
+(** Delta-start semi-naive rounds through the bytecode matcher; same
+    contract as {!Dl_eval.fixpoint_delta}.  Being VM-backed, deadline
+    tokens are additionally probed mid-round by the cancel-probe
+    opcode. *)
+
 val eval :
   ?cancel:Dl_cancel.t -> Datalog.query -> Instance.t -> Const.t array list
 

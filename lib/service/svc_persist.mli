@@ -12,7 +12,17 @@
     [mondet-cache/1 mode=... syms=N entries=M] header; entries are
     stored least-recently-used first so replaying them through
     {!Svc_cache.add} reproduces recency order exactly.  See DESIGN.md
-    for the full format. *)
+    for the full format.
+
+    Only the cache is persisted.  Sessions — and with them the
+    instances' materialized fixpoints ({!Dl_incr.t}) — die with the
+    process and are rebuilt by the client reloading and re-evaluating;
+    a mutation after a warm restart therefore reports [maintained=0]
+    until an eval has rebuilt a materialization.  This cannot produce a
+    stale answer: cache keys include the instance's structural
+    fingerprint, so a snapshot entry only ever hits for the exact
+    instance value it was computed on — mutate the instance and every
+    subsequent query misses the old keys by construction. *)
 
 val save : string -> Svc_service.t -> unit
 (** [save path svc] snapshots [svc]'s cache to [path], atomically

@@ -8,6 +8,8 @@
      ID load SESSION program NAME goal GOAL [opts] : RULES
      ID load SESSION views NAME [opts] : RULES
      ID load SESSION instance NAME [opts] : FACTS
+     ID assert SESSION INST [opts] : FACTS
+     ID retract SESSION INST [opts] : FACTS
      ID eval SESSION PROG INST [opts]
      ID holds SESSION PROG INST (C1,...,Cn) [opts]
      ID mondet-test SESSION PROG VIEWS [opts]
@@ -37,6 +39,8 @@ type kind = Kprogram of string (* goal *) | Kviews | Kinstance
 
 type verb =
   | Load of { kind : kind; name : string; text : string }
+  | Assert of { instance : string; text : string }
+  | Retract of { instance : string; text : string }
   | Eval of { program : string; instance : string }
   | Holds of { program : string; instance : string; tuple : string list }
   | Mondet_test of { program : string; views : string; depth : int option }
@@ -91,6 +95,10 @@ let print_request (r : request) =
           | Kinstance -> [ "instance"; name ]
         in
         [ r.id; "load" ] @ sess @ kind_part @ deadline @ [ ":"; text ]
+    | Assert { instance; text } ->
+        [ r.id; "assert" ] @ sess @ [ instance ] @ deadline @ [ ":"; text ]
+    | Retract { instance; text } ->
+        [ r.id; "retract" ] @ sess @ [ instance ] @ deadline @ [ ":"; text ]
     | Eval { program; instance } ->
         [ r.id; "eval" ] @ sess @ [ program; instance ] @ deadline
     | Holds { program; instance; tuple } ->
@@ -232,6 +240,23 @@ let parse_request line : (request, string * string) Stdlib.result =
               in
               { id; session = Some sess; deadline_ms;
                 verb = Load { kind; name; text } }
+          | (("assert" | "retract") as v) :: sess :: inst :: rest ->
+              let pos, opts = split_opts rest in
+              if pos <> [] then bad "unexpected argument %S" (List.hd pos);
+              let deadline_ms, opts = take_opt opts "deadline" in
+              no_more_opts opts;
+              let text =
+                match payload with
+                | Some p -> p
+                | None -> bad "%s needs a ' : ' payload of facts" v
+              in
+              let instance = word "instance" inst in
+              { id; session = Some (word "session" sess); deadline_ms;
+                verb =
+                  (if v = "assert" then Assert { instance; text }
+                   else Retract { instance; text }) }
+          | (("assert" | "retract") as v) :: _ ->
+              bad "%s needs: SESSION INST : FACTS" v
           | verb :: _ when payload <> None ->
               bad "verb %S takes no ' : ' payload" verb
           | "eval" :: sess :: prog :: inst :: rest ->

@@ -7,6 +7,8 @@
 ID load SESSION program NAME goal GOAL [deadline=MS] : RULES
 ID load SESSION views NAME [deadline=MS] : RULES
 ID load SESSION instance NAME [deadline=MS] : FACTS
+ID assert SESSION INST [deadline=MS] : FACTS
+ID retract SESSION INST [deadline=MS] : FACTS
 ID eval SESSION PROG INST [deadline=MS]
 ID holds SESSION PROG INST (C1,...,Cn) [deadline=MS]
 ID mondet-test SESSION PROG VIEWS [depth=N] [deadline=MS]
@@ -15,7 +17,15 @@ ID rewrite-check SESSION PROG VIEWS [samples=N] [deadline=MS]
 ID stats [deadline=MS]
     v}
 
-    The [load] payload after [" : "] uses the {!Parse} surface syntax.
+    The [load], [assert] and [retract] payloads after [" : "] use the
+    {!Parse} surface syntax ([assert]/[retract] payloads are fact lists,
+    as for [load … instance]).  [assert] adds the facts to the named
+    session instance, [retract] removes them; both answer
+    [ID ok added=N size=M maintained=K] (resp. [removed=N]) where [N] is
+    the number of facts that actually changed the instance, [M] its new
+    size and [K] the number of materialized fixpoints incrementally
+    maintained ({!Svc_service} registers one per cached evaluation over
+    the instance).  Retracting an absent fact is a no-op, not an error.
     Responses are [ID ok BODY], [ID error MESSAGE], [ID timeout] or
     [ID busy].  [busy] is the load-shedding verdict — admission control
     refused the connection, or a per-session request quota was exceeded;
@@ -25,6 +35,8 @@ type kind = Kprogram of string (** the goal predicate *) | Kviews | Kinstance
 
 type verb =
   | Load of { kind : kind; name : string; text : string }
+  | Assert of { instance : string; text : string }
+  | Retract of { instance : string; text : string }
   | Eval of { program : string; instance : string }
   | Holds of { program : string; instance : string; tuple : string list }
   | Mondet_test of { program : string; views : string; depth : int option }

@@ -132,19 +132,19 @@ let cache_key t parts =
 (* Verb bodies.  Each takes the cancellation token and (where evaluation
    strategy matters) an optional engine override used by the batch pool. *)
 
+let format_tuples = function
+  | [] -> "none"
+  | tuples ->
+      tuples
+      |> List.map (fun tup ->
+             String.concat "," (List.map Const.to_string (Array.to_list tup)))
+      |> List.sort_uniq compare
+      |> String.concat ";"
+
 let eval_body ?strategy ~cancel q i =
   if Datalog.goal_arity q = 0 then
     if Dl_engine.holds_boolean ?strategy ~cancel q i then "true" else "false"
-  else
-    match Dl_engine.eval ?strategy ~cancel q i with
-    | [] -> "none"
-    | tuples ->
-        tuples
-        |> List.map (fun tup ->
-               String.concat ","
-                 (List.map Const.to_string (Array.to_list tup)))
-        |> List.sort_uniq compare
-        |> String.concat ";"
+  else format_tuples (Dl_engine.eval ?strategy ~cancel q i)
 
 let holds_body ?strategy ~cancel q i tuple =
   let arity = Datalog.goal_arity q in
@@ -199,6 +199,73 @@ let stats_body t =
     (Atomic.get t.requests) (Atomic.get t.timeouts)
 
 (* ------------------------------------------------------------------ *)
+(* Materialized fixpoints.
+
+   A session may hold, per instance name, a few incrementally maintained
+   fixpoints ({!Dl_incr.t}) keyed by the *program* fingerprint (the rule
+   set alone — queries differing only in goal share one).  The mutation
+   verbs repair them in place; eval answers from a matching one instead
+   of recomputing the fixpoint.  A mat is trusted only if it is still
+   [valid] (no cancelled repair) and its base fingerprints equal to the
+   session's current instance, so a [load instance] replacing the
+   contents — or any bug leaving the two out of step — degrades to a
+   cold evaluation, never to a wrong answer. *)
+
+let prog_mat_key (q : Datalog.query) =
+  let a, b = Datalog.program_fingerprint q.Datalog.program in
+  Printf.sprintf "%x:%x" a b
+
+let valid_mat s inst_name (q : Datalog.query) i =
+  match Svc_session.mat s inst_name (prog_mat_key q) with
+  | Some m
+    when Dl_incr.valid m
+         && Instance.fingerprint (Dl_incr.base m) = Instance.fingerprint i ->
+      Some m
+  | _ -> None
+
+(* The mutation body shared by all three entry points.  Callers must
+   hold the session regime of their path (the concurrent path's session
+   lock; the coordinator paths need nothing).  Semantics are atomic per
+   request: either the instance and every live materialization reflect
+   all the facts, or — on cancellation mid-repair — the instance is
+   untouched and the materializations are dropped wholesale (the next
+   eval rebuilds one cold), so a timeout can never publish a half-edited
+   state. *)
+let do_mutate s ~cancel ~asserted inst_name text =
+  let i = Svc_session.instance s inst_name in
+  let facts = Instance.facts (Parse.instance text) in
+  let live =
+    List.filter
+      (fun (_, m) ->
+        Dl_incr.valid m
+        && Instance.fingerprint (Dl_incr.base m) = Instance.fingerprint i)
+      (Svc_session.mats s inst_name)
+  in
+  (try
+     List.iter
+       (fun (_, m) ->
+         if asserted then Dl_incr.assert_facts ~cancel m facts
+         else Dl_incr.retract_facts ~cancel m facts)
+       live
+   with e ->
+     Svc_session.drop_mats s inst_name;
+     raise e);
+  let i' =
+    match live with
+    | (_, m) :: _ -> Dl_incr.base m (* all live mats share the base *)
+    | [] ->
+        if asserted then
+          List.fold_left (fun acc f -> Instance.add f acc) i facts
+        else List.fold_left (fun acc f -> Instance.remove f acc) i facts
+  in
+  Svc_session.set_mats s inst_name live;
+  Svc_session.update_instance s inst_name i';
+  Printf.sprintf "%s=%d size=%d maintained=%d"
+    (if asserted then "added" else "removed")
+    (abs (Instance.size i' - Instance.size i))
+    (Instance.size i') (List.length live)
+
+(* ------------------------------------------------------------------ *)
 (* Exception-to-result mapping.  Pure: no service state is touched, so
    it is safe to run on a pool worker; counters are updated by the
    coordinator from the returned result. *)
@@ -235,20 +302,65 @@ type plan = {
   pcompute : Dl_engine.strategy option -> string;
 }
 
-let plan_in t s ~cancel req : plan =
+let plan_in ?(use_mats = false) t s ~cancel req : plan =
   match req.verb with
   | Eval { program; instance } ->
       let q = Svc_session.program s program in
       let i = Svc_session.instance s instance in
+      (* Mat-aware evaluation, on the entry points whose thunks run under
+         the session regime ([use_mats]; the batch pool's workers must
+         not touch session state, so batch evals stay mat-blind).  A
+         cache-missed tuple-returning eval answers from a matching live
+         materialization — O(goal) after a mutation instead of a cold
+         fixpoint — and otherwise *creates* one, so the fixpoint it had
+         to run anyway keeps paying off across future mutations.
+         Boolean goals keep the early-stopping engine path and only read
+         a mat when one already exists. *)
+      let pcompute strategy =
+        if not use_mats then eval_body ?strategy ~cancel q i
+        else if Datalog.goal_arity q = 0 then
+          match valid_mat s instance q i with
+          | Some m ->
+              if Instance.tuples (Dl_incr.full m) q.Datalog.goal <> [] then
+                "true"
+              else "false"
+          | None -> eval_body ?strategy ~cancel q i
+        else
+          let m =
+            match valid_mat s instance q i with
+            | Some m -> m
+            | None ->
+                let m =
+                  Dl_incr.create ?strategy ~cancel q.Datalog.program i
+                in
+                Svc_session.set_mat s instance (prog_mat_key q) m;
+                m
+          in
+          format_tuples (Instance.tuples (Dl_incr.full m) q.Datalog.goal)
+      in
       {
         pkey = cache_key t [ "eval"; query_key t q; instance_key t i ];
         pgroup = Instance.fingerprint_hex i;
         pworker_safe = true;
-        pcompute = (fun strategy -> eval_body ?strategy ~cancel q i);
+        pcompute;
       }
   | Holds { program; instance; tuple } ->
       let q = Svc_session.program s program in
       let i = Svc_session.instance s instance in
+      let pcompute strategy =
+        match if use_mats then valid_mat s instance q i else None with
+        | Some m ->
+            if List.length tuple <> Datalog.goal_arity q then
+              reject "tuple has %d constants, goal arity is %d"
+                (List.length tuple) (Datalog.goal_arity q);
+            if
+              Instance.mem
+                (Fact.make q.Datalog.goal (List.map Const.named tuple))
+                (Dl_incr.full m)
+            then "true"
+            else "false"
+        | None -> holds_body ?strategy ~cancel q i tuple
+      in
       {
         pkey =
           cache_key t
@@ -256,7 +368,7 @@ let plan_in t s ~cancel req : plan =
               String.concat "," tuple ];
         pgroup = Instance.fingerprint_hex i;
         pworker_safe = true;
-        pcompute = (fun strategy -> holds_body ?strategy ~cancel q i tuple);
+        pcompute;
       }
   | Mondet_test { program; views; depth } ->
       let q = Svc_session.program s program in
@@ -294,10 +406,11 @@ let plan_in t s ~cancel req : plan =
         pworker_safe = false;
         pcompute = (fun strategy -> rewrite_body ?strategy ~cancel q vs samples);
       }
-  | Load _ | Stats -> assert false (* handled before planning *)
+  | Load _ | Assert _ | Retract _ | Stats ->
+      assert false (* handled before planning *)
 
-let plan t ~cancel req : plan =
-  plan_in t (session t (req_session req)) ~cancel req
+let plan ?use_mats t ~cancel req : plan =
+  plan_in ?use_mats t (session t (req_session req)) ~cancel req
 
 let do_load_in s kind name text =
   match kind with
@@ -331,6 +444,16 @@ let handle t req : response =
     match req.verb with
     | Load { kind; name; text } ->
         exec ~cancel (fun () -> do_load t (req_session req) kind name text)
+    | Assert { instance; text } ->
+        (* mutations are never cached (they change state, every execution
+           matters) and require an existing session *)
+        exec ~cancel (fun () ->
+            do_mutate (session t (req_session req)) ~cancel ~asserted:true
+              instance text)
+    | Retract { instance; text } ->
+        exec ~cancel (fun () ->
+            do_mutate (session t (req_session req)) ~cancel ~asserted:false
+              instance text)
     | Stats -> exec ~cancel (fun () -> stats_body t)
     | _ -> (
         (* plan under [exec] too: a missing object or an instantly
@@ -338,7 +461,7 @@ let handle t req : response =
         let planned = ref None in
         match
           exec ~cancel (fun () ->
-              planned := Some (plan t ~cancel req);
+              planned := Some (plan ~use_mats:true t ~cancel req);
               "")
         with
         | (Error_ _ | Timeout | Busy) as r -> r
@@ -383,6 +506,20 @@ let handle_batch t reqs : response list =
         slots.(idx) <-
           Done
             (exec ~cancel (fun () -> do_load t (req_session req) kind name text))
+    | Assert { instance; text } ->
+        (* executed at its batch position like a load, so later verbs in
+           the batch plan against the mutated instance *)
+        slots.(idx) <-
+          Done
+            (exec ~cancel (fun () ->
+                 do_mutate (session t (req_session req)) ~cancel
+                   ~asserted:true instance text))
+    | Retract { instance; text } ->
+        slots.(idx) <-
+          Done
+            (exec ~cancel (fun () ->
+                 do_mutate (session t (req_session req)) ~cancel
+                   ~asserted:false instance text))
     | Stats -> slots.(idx) <- Done (exec ~cancel (fun () -> stats_body t))
     | _ -> (
         let planned = ref None in
@@ -525,12 +662,20 @@ let handle_concurrent t req : response =
                    match req.verb with
                    | Load { kind; name; text } ->
                        exec ~cancel (fun () -> do_load_in s kind name text)
+                   | Assert { instance; text } ->
+                       (* under the session lock: serialized against every
+                          other request touching this session *)
+                       exec ~cancel (fun () ->
+                           do_mutate s ~cancel ~asserted:true instance text)
+                   | Retract { instance; text } ->
+                       exec ~cancel (fun () ->
+                           do_mutate s ~cancel ~asserted:false instance text)
                    | Stats -> assert false
                    | _ -> (
                        let planned = ref None in
                        match
                          exec ~cancel (fun () ->
-                             planned := Some (plan_in t s ~cancel req);
+                             planned := Some (plan_in ~use_mats:true t s ~cancel req);
                              "")
                        with
                        | (Error_ _ | Timeout | Busy) as r -> r

@@ -41,7 +41,26 @@
     construction O(1) on the warm path, independent of instance size;
     [Printed] mode keeps the legacy digest of canonical pretty-printed
     forms as a differential oracle (both modes produce identical
-    hit/miss traces). *)
+    hit/miss traces).
+
+    {2 Mutations and materialized fixpoints}
+
+    [assert]/[retract] edit a session instance in place and are never
+    cached (every execution changes state).  They require an existing
+    session, run sequentially at their position on the batch path, and
+    hold the session lock on the concurrent path like everything else.
+    Each session keeps a handful of incrementally maintained fixpoints
+    ({!Dl_incr.t}) per instance, keyed by program fingerprint: a
+    cache-missed tuple-returning [eval] creates one (on the
+    single-request and concurrent paths — batch pool workers never touch
+    session state), mutations repair all of them (counting + DRed), and
+    subsequent [eval]/[holds] answer from a repaired one instead of
+    re-running the fixpoint.  Because cache keys include the instance
+    fingerprint, a mutation changes every affected key — the cache can
+    never serve a pre-mutation answer.  A deadline expiring mid-repair
+    drops the instance's materializations wholesale and leaves the
+    instance unedited, so [timeout] never publishes a half-applied
+    mutation; the next eval simply rebuilds cold. *)
 
 type t
 

@@ -16,6 +16,12 @@ type t = {
   programs : (string, Datalog.query) Hashtbl.t;
   views : (string, View.collection) Hashtbl.t;
   instances : (string, Instance.t) Hashtbl.t;
+  (* materialized fixpoints over an instance, keyed by instance name and
+     then by program fingerprint; maintained incrementally by the
+     mutation verbs and consulted by eval/holds.  Owned by the session
+     like everything else here: touch only under the entry point's
+     session regime (see the mutex comment above). *)
+  mats : (string, (string * Dl_incr.t) list) Hashtbl.t;
   (* fixed-window request quota, guarded by [mu] *)
   mutable win_start : float;
   mutable win_count : int;
@@ -32,6 +38,7 @@ let create name =
     programs = Hashtbl.create 8;
     views = Hashtbl.create 8;
     instances = Hashtbl.create 8;
+    mats = Hashtbl.create 8;
     win_start = neg_infinity;
     win_count = 0;
   }
@@ -58,7 +65,34 @@ let over_quota t ~limit ~window ~now =
 
 let set_program t n q = Hashtbl.replace t.programs n q
 let set_views t n v = Hashtbl.replace t.views n v
-let set_instance t n i = Hashtbl.replace t.instances n i
+
+(* Reloading an instance replaces its contents wholesale, so every
+   materialization over it is stale; the mutation path instead edits the
+   instance *through* its materializations and publishes the result with
+   [update_instance], which keeps them. *)
+let set_instance t n i =
+  Hashtbl.remove t.mats n;
+  Hashtbl.replace t.instances n i
+
+let update_instance t n i = Hashtbl.replace t.instances n i
+
+(* Cap on materializations per instance: a mat is a full extra fixpoint
+   plus counting tables, and every one is repaired on every mutation, so
+   an unbounded set would make mutations arbitrarily slow.  Oldest out. *)
+let max_mats = 8
+
+let mats t n = Option.value (Hashtbl.find_opt t.mats n) ~default:[]
+
+let set_mats t n = function
+  | [] -> Hashtbl.remove t.mats n
+  | l -> Hashtbl.replace t.mats n l
+
+let set_mat t n key m =
+  let l = (key, m) :: List.remove_assoc key (mats t n) in
+  set_mats t n (List.filteri (fun i _ -> i < max_mats) l)
+
+let mat t n key = List.assoc_opt key (mats t n)
+let drop_mats t n = Hashtbl.remove t.mats n
 
 let program t n =
   match Hashtbl.find_opt t.programs n with

@@ -33,8 +33,50 @@ val over_quota : t -> limit:int -> window:float -> now:float -> bool
 
 val set_program : t -> string -> Datalog.query -> unit
 val set_views : t -> string -> View.collection -> unit
+
 val set_instance : t -> string -> Instance.t -> unit
+(** Store (or replace) an instance under the name.  Replacement is
+    wholesale, so every materialization registered over the name is
+    dropped; the mutation verbs use {!update_instance} instead. *)
+
+val update_instance : t -> string -> Instance.t -> unit
+(** Like {!set_instance} but keeps the name's materializations: the
+    mutation path edits the instance {e through} them
+    ({!Dl_incr.assert_facts} / [retract_facts]), so after a successful
+    repair they are already consistent with the value published here. *)
 
 val program : t -> string -> Datalog.query
 val views : t -> string -> View.collection
 val instance : t -> string -> Instance.t
+
+(** {2 Materialized fixpoints}
+
+    Incrementally maintained fixpoints ({!Dl_incr.t}) over a named
+    instance, keyed by a caller-chosen string (the service uses the
+    program's structural fingerprint, so a reloaded program never hits a
+    stale entry).  At most a small fixed number are kept per instance
+    (oldest evicted): each one is repaired on every mutation of the
+    instance.  Like all session state, access only under the entry
+    point's session regime — the concurrent path's {!with_lock}, or the
+    single-coordinator discipline. *)
+
+val mat : t -> string -> string -> Dl_incr.t option
+(** [mat t inst key]: the materialization registered for [inst] under
+    [key], if any.  Callers must still check {!Dl_incr.valid} and that
+    {!Dl_incr.base} matches the current instance. *)
+
+val set_mat : t -> string -> string -> Dl_incr.t -> unit
+(** Register a materialization (replacing any entry with the same key,
+    evicting the oldest beyond the per-instance cap). *)
+
+val mats : t -> string -> (string * Dl_incr.t) list
+(** All materializations registered for the instance name, newest
+    first. *)
+
+val set_mats : t -> string -> (string * Dl_incr.t) list -> unit
+(** Replace the instance's whole materialization list (the mutation path
+    uses this to prune entries that went stale or were poisoned). *)
+
+val drop_mats : t -> string -> unit
+(** Forget every materialization for the instance name (the mutation
+    path's response to a cancellation mid-repair). *)

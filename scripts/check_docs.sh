@@ -1,0 +1,70 @@
+#!/bin/sh
+# Docs drift gate: the protocol and CLI surface documented in README.md
+# and lib/service/svc_proto.mli must match what the code actually
+# implements.  Greps, not builds — cheap enough to run on every CI push.
+#
+#   1. every wire verb printed by Svc_proto.print_request must be
+#      documented in README.md and in the svc_proto.mli grammar block;
+#   2. every verb named in the svc_proto.mli grammar block must still
+#      exist in the implementation (catches docs outliving code);
+#   3. every `--flag` README.md mentions must still be a flag defined in
+#      bin/mondet.ml (catches docs of removed/renamed options);
+#   4. every mondet subcommand must appear in README.md.
+#
+# Run from the repository root: scripts/check_docs.sh
+
+set -eu
+
+fail=0
+err() {
+  echo "check_docs: $*" >&2
+  fail=1
+}
+
+proto_ml=lib/service/svc_proto.ml
+proto_mli=lib/service/svc_proto.mli
+main_ml=bin/mondet.ml
+
+[ -f "$proto_ml" ] && [ -f "$proto_mli" ] && [ -f "$main_ml" ] || {
+  echo "check_docs: run from the repository root" >&2
+  exit 2
+}
+
+# 1. verbs implemented (the printer is the canonical list: every verb
+#    constructor has exactly one `[ r.id; "verb" ]` arm)
+verbs=$(grep -o 'r\.id; "[a-z-]*"' "$proto_ml" | sed 's/.*"\(.*\)"/\1/' | sort -u)
+[ -n "$verbs" ] || err "no verbs extracted from $proto_ml (pattern drift?)"
+for v in $verbs; do
+  grep -q "$v" README.md || err "verb '$v' not documented in README.md"
+  grep -q "^ID $v\( \|\$\)" "$proto_mli" ||
+    err "verb '$v' not in the $proto_mli grammar block"
+done
+
+# 2. verbs the grammar block documents (`ID verb ...` lines in the mli
+#    header comment) still implemented
+doc_verbs=$(sed -n 's/^ID \([a-z][a-z-]*\).*/\1/p' "$proto_mli" | sort -u)
+[ -n "$doc_verbs" ] || err "no verbs extracted from $proto_mli (pattern drift?)"
+for v in $doc_verbs; do
+  echo "$verbs" | grep -qx "$v" ||
+    err "grammar block in $proto_mli documents unimplemented verb '$v'"
+done
+
+# 3. README flags still defined (a cmdliner flag named f appears in
+#    bin/mondet.ml as a string literal "f" inside an info [ ... ] list)
+flags=$(grep -o -- '`--[a-z-]*' README.md | sed 's/`--//' | sort -u)
+for f in $flags; do
+  grep -q "\"$f\"" "$main_ml" ||
+    err "README.md documents flag --$f, not defined in $main_ml"
+done
+
+# 4. subcommands reachable from README
+subs=$(grep -o 'Cmd\.info "[a-z-]*"' "$main_ml" | sed 's/.*"\(.*\)"/\1/' |
+  grep -v '^mondet$' | sort -u)
+for s in $subs; do
+  grep -q "$s" README.md || err "subcommand '$s' not mentioned in README.md"
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_docs: ok ($(echo "$verbs" | wc -w | tr -d ' ') verbs, $(echo "$flags" | wc -w | tr -d ' ') flags, $(echo "$subs" | wc -w | tr -d ' ') subcommands)"
+fi
+exit "$fail"

@@ -95,6 +95,14 @@ let verb_gen =
                  return Svc_proto.Kinstance;
                ])
             word_gen text_gen );
+        ( 2,
+          map2
+            (fun instance text -> Svc_proto.Assert { instance; text })
+            word_gen text_gen );
+        ( 2,
+          map2
+            (fun instance text -> Svc_proto.Retract { instance; text })
+            word_gen text_gen );
         ( 3,
           map2
             (fun program instance -> Svc_proto.Eval { program; instance })
@@ -227,6 +235,90 @@ let test_deadline_large_fixpoint () =
   check_string "still answering" "4 ok true"
     (feed "4 holds s tc big (n0,n3)");
   check_int "timeout counted" 1 (Svc_service.timeouts svc)
+
+(* ------------------------------------------------------------------ *)
+(* Mutation verbs: assert/retract against a maintained materialization,
+   covering the edge cases — retract of a never-asserted fact, retract
+   of a base fact that is also derivable, an asserted derived fact
+   surviving the loss of its support, and deterministic deadline=0. *)
+
+let test_mutations () =
+  let svc = Svc_service.create () in
+  let h l = Svc_proto.print_response (Svc_service.handle_line svc l) in
+  ignore
+    (h
+       "1 load m1 program tc goal T : T(x,y) <- E(x,y). T(x,y) <- E(x,z), \
+        T(z,y).");
+  ignore (h "2 load m1 instance i : E(a,b). E(b,c).");
+  (* the cold eval registers the materialization the mutations maintain *)
+  check_string "cold eval" "3 ok a,b;a,c;b,c" (h "3 eval m1 tc i");
+  check_string "assert" "4 ok added=1 size=3 maintained=1"
+    (h "4 assert m1 i : E(c,d).");
+  check_string "eval after assert" "5 ok a,b;a,c;a,d;b,c;b,d;c,d"
+    (h "5 eval m1 tc i");
+  check_string "retract absent is a no-op" "6 ok removed=0 size=3 maintained=1"
+    (h "6 retract m1 i : E(q,q).");
+  (* pin a derived fact into the base, then cut its derivation support *)
+  check_string "assert derived" "7 ok added=1 size=4 maintained=1"
+    (h "7 assert m1 i : T(a,c).");
+  check_string "cut support" "8 ok removed=1 size=3 maintained=1"
+    (h "8 retract m1 i : E(b,c).");
+  check_string "pinned fact survives" "9 ok true" (h "9 holds m1 tc i (a,c)");
+  check_string "severed closure gone" "10 ok false"
+    (h "10 holds m1 tc i (b,c)");
+  (* retract a base fact that is also derivable: membership persists *)
+  check_string "re-add support" "11 ok added=1 size=4 maintained=1"
+    (h "11 assert m1 i : E(b,c).");
+  check_string "retract derivable base" "12 ok removed=1 size=3 maintained=1"
+    (h "12 retract m1 i : T(a,c).");
+  check_string "still derived" "13 ok true" (h "13 holds m1 tc i (a,c)");
+  (* errors: mutations need existing objects, and parse errors surface *)
+  check_string "unknown instance"
+    "14 error no instance \"zz\" in session \"m1\""
+    (h "14 assert m1 zz : E(a,b).");
+  check_string "unknown session" "15 error unknown session \"zz\""
+    (h "15 assert zz i : E(a,b).");
+  check_string "missing payload"
+    "16 error assert needs a ' : ' payload of facts" (h "16 assert m1 i");
+  (* deadline=0 is decided before any work: timeout, nothing mutated *)
+  check_string "deadline 0" "17 timeout"
+    (h "17 assert m1 i deadline=0 : E(x,y).");
+  check_string "instance untouched" "18 ok false"
+    (h "18 holds m1 tc i (x,y)")
+
+(* A tiny deadline racing a genuinely large maintenance fixpoint: either
+   the repair finishes in time (ok) or it is cancelled (timeout) — both
+   are legal — but the session must stay consistent either way: the
+   mutation is all-or-nothing and follow-up answers match whichever
+   outcome was reported. *)
+let test_mutation_deadline_race () =
+  let svc = Svc_service.create () in
+  let h l = Svc_service.handle_line svc l in
+  let p l = Svc_proto.print_response (h l) in
+  let n = 400 in
+  let edges =
+    String.concat " "
+      (List.init (n - 1) (fun i -> Printf.sprintf "E(n%d,n%d)." i (i + 1)))
+  in
+  ignore
+    (p
+       "1 load s program tc goal T : T(x,y) <- E(x,y). T(x,y) <- E(x,z), \
+        T(z,y).");
+  ignore (p ("2 load s instance big : " ^ edges));
+  check_string "seed fact absent" "3 ok false" (p "3 holds s tc big (n5,n0)");
+  (* closing the cycle makes the closure quadratic: plenty of rounds for
+     the 1 ms deadline to expire at — but it may also just finish *)
+  let r = h (Printf.sprintf "4 assert s big deadline=1 : E(n%d,n0)." (n - 1)) in
+  (match r.Svc_proto.result with
+  | Svc_proto.Ok_ _ ->
+      check_string "mutation landed: edge closed the cycle" "5 ok true"
+        (p "5 holds s tc big (n5,n0)")
+  | Svc_proto.Timeout ->
+      check_string "mutation cancelled: instance untouched" "5 ok false"
+        (p "5 holds s tc big (n5,n0)")
+  | _ -> Alcotest.fail "expected ok or timeout");
+  (* whatever happened, the service keeps answering coherently *)
+  check_string "still consistent" "6 ok true" (p "6 holds s tc big (n0,n5)")
 
 (* ------------------------------------------------------------------ *)
 (* Mixed two-session workload, batched through the domain-pool path,
@@ -488,6 +580,9 @@ let suite =
     Alcotest.test_case "deadline on large fixpoint" `Quick
       test_deadline_large_fixpoint;
     Alcotest.test_case "handle_lines order" `Quick test_handle_lines_order;
+    Alcotest.test_case "mutation verbs" `Quick test_mutations;
+    Alcotest.test_case "mutation deadline race" `Quick
+      test_mutation_deadline_race;
     Alcotest.test_case "mixed workload (2 sessions, pool)" `Slow
       test_mixed_workload;
     Alcotest.test_case "key modes agree (fingerprint vs printed)" `Slow

@@ -242,6 +242,66 @@ let test_tcp_stress_oracle () =
   check_int "every response byte-identical to the oracle" 0
     (Svc_loadgen.verify_exchanges exchanges)
 
+(* Concurrent clients mutating *distinct* sessions.  Each client owns a
+   session (and its own constants, so evaluation really differs across
+   clients) and drives load -> eval -> assert -> eval -> retract -> eval
+   -> holds over its own connection, from its own domain.  Sessions
+   serialize internally but not across each other, so the mutations run
+   in parallel; every response must still be byte-identical to a
+   single-threaded oracle replaying the same per-client script. *)
+let mutation_script k =
+  let s = Printf.sprintf "s%d" k in
+  let e i j = Printf.sprintf "E(c%d_%d,c%d_%d)." k i k j in
+  let c i = Printf.sprintf "c%d_%d" k i in
+  List.mapi
+    (fun n line -> Printf.sprintf "%s_%d %s" s n line)
+    [
+      Printf.sprintf
+        "load %s program tc goal T : T(x,y) <- E(x,y). T(x,y) <- E(x,z), \
+         T(z,y)."
+        s;
+      Printf.sprintf "load %s instance i : %s %s %s" s (e 0 1) (e 1 2) (e 2 3);
+      Printf.sprintf "eval %s tc i" s;
+      Printf.sprintf "assert %s i : %s" s (e 3 4);
+      Printf.sprintf "eval %s tc i" s;
+      Printf.sprintf "holds %s tc i (%s,%s)" s (c 0) (c 4);
+      Printf.sprintf "retract %s i : %s" s (e 1 2);
+      Printf.sprintf "eval %s tc i" s;
+      Printf.sprintf "holds %s tc i (%s,%s)" s (c 0) (c 3);
+      Printf.sprintf "retract %s i : E(zz,zz)." s;
+      Printf.sprintf "eval %s tc i" s;
+    ]
+
+let test_tcp_concurrent_mutations () =
+  let service = Svc_service.create ~parallel:false () in
+  let nclients = 4 in
+  let transcripts =
+    with_server service (fun addr ->
+        let clients =
+          List.init nclients (fun k ->
+              Domain.spawn (fun () ->
+                  let fd, ic, oc = connect addr in
+                  let rs = List.map (roundtrip ic oc) (mutation_script k) in
+                  Unix.close fd;
+                  rs))
+        in
+        List.map Domain.join clients)
+  in
+  let oracle = Svc_service.create ~parallel:false () in
+  List.iteri
+    (fun k got ->
+      List.iter2
+        (fun line resp ->
+          check_string line
+            (Svc_proto.print_response (Svc_service.handle_line oracle line))
+            resp)
+        (mutation_script k) got)
+    transcripts;
+  (* spot-check the mutations actually took effect end to end *)
+  let last = List.nth (List.hd transcripts) 10 in
+  check_string "client 0 final closure reflects both mutations"
+    "s0_10 ok c0_0,c0_1;c0_2,c0_3;c0_2,c0_4;c0_3,c0_4" last
+
 (* ------------------------------------------------------------------ *)
 (* Cache snapshots. *)
 
@@ -320,6 +380,8 @@ let suite =
     Alcotest.test_case "tcp admission shed" `Quick test_tcp_admission_shed;
     Alcotest.test_case "tcp per-session quota" `Quick test_tcp_quota_busy;
     Alcotest.test_case "tcp stress vs oracle" `Slow test_tcp_stress_oracle;
+    Alcotest.test_case "tcp concurrent mutations" `Quick
+      test_tcp_concurrent_mutations;
     Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
     Alcotest.test_case "snapshot lru order" `Quick test_snapshot_lru_order;
     Alcotest.test_case "snapshot mode mismatch" `Quick
