@@ -400,6 +400,51 @@ let incr_tests =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* RPQ probes: all-pairs and source-anchored evaluation of the Datalog
+   translation on chain/grid/scale-free graphs, the view-rewriting
+   automaton construction alone (pure automata work, no evaluation),
+   and certain answers through a lossless rewriting — the direct vs
+   rewritten trajectory at graph scale lives in E21.                   *)
+
+let rpq_tests =
+  let star = Rpq.parse "e*" in
+  let grid_q = Rpq.parse "(r|d)*" in
+  let sf_q = Rpq.parse "(a|b)+" in
+  let ksf_q = Rpq.parse "(k|k^)*.f" in
+  let views = [ ("vk", Rpq.parse "k|k^"); ("vf", Rpq.parse "f") ] in
+  let chain = Rpq_graph.chain 256 in
+  let grid = Rpq_graph.grid 16 16 in
+  let sf =
+    Rpq_graph.scale_free ~labels:[ "a"; "b" ] ~nodes:512 ~edges:2048 ()
+  in
+  let kf =
+    Db.union
+      (Rpq_graph.scale_free ~labels:[ "k" ] ~nodes:128 ~edges:256 ())
+      (Db.of_list
+         (List.init 32 (fun i ->
+              Fact.make "f" [ Rpq_graph.node i; Rpq_graph.node (i + 128) ])))
+  in
+  Test.make_grouped ~name:"rpq"
+    [
+      Test.make ~name:"chain-256-star"
+        (Staged.stage (fun () -> ignore (Rpq_translate.eval star chain)));
+      Test.make ~name:"grid-16-anchored"
+        (Staged.stage (fun () ->
+             ignore
+               (Rpq_translate.eval_from grid_q grid (Rpq_graph.grid_node 0 0))));
+      Test.make ~name:"scale-free-2k-anchored"
+        (Staged.stage (fun () ->
+             ignore (Rpq_translate.eval_from sf_q sf (Rpq_graph.node 0))));
+      Test.make ~name:"rewrite-construct"
+        (Staged.stage (fun () ->
+             ignore (Rpq_views.rewrite ~views ksf_q)));
+      Test.make ~name:"certain-kf-128"
+        (Staged.stage
+           (let rw = Rpq_views.rewrite ~views ksf_q in
+            fun () -> ignore (Rpq_views.certain rw kf)));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bytecode-VM probes on the recursive workloads the parallel block
    also times, paired with the indexed engine run in the same process:
    the engine/vm-*-vm vs engine/vm-*-indexed deltas are the headline
@@ -557,13 +602,14 @@ let json ?(path = "BENCH_eval.json") () =
   let engine_rows = run engine_tests in
   let service_rows = run service_tests in
   let incr_rows = run incr_tests in
+  let rpq_rows = run rpq_tests in
   let vm_rows = run vm_tests in
   let par_rows = run par_tests in
   Dl_parallel.set_domains 1;
   Dl_parallel.shutdown ();
   let rows =
-    base_rows @ scale_rows @ engine_rows @ service_rows @ incr_rows @ vm_rows
-    @ par_rows
+    base_rows @ scale_rows @ engine_rows @ service_rows @ incr_rows
+    @ rpq_rows @ vm_rows @ par_rows
   in
   print_rows rows;
   let oc = open_out path in

@@ -34,6 +34,7 @@ let report () =
   Experiments.e16 ();
   Experiments.e19 ();
   Experiments.e20 ();
+  Experiments.e21 ();
   Format.printf "@.report complete.@."
 
 let () =

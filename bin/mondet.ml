@@ -178,6 +178,133 @@ let tiling_cmd =
     (Cmd.info "tiling" ~doc:"Run the Lemma 6 parity-tiling separation on a grid.")
     Term.(ret (const run $ n_arg $ m_arg))
 
+let rpq_cmd =
+  let rpq_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REGEX"
+          ~doc:
+            "The regular path query: a regex over edge relation names \
+             with $(b,|), concatenation ($(b,.) optional), $(b,*), \
+             $(b,+), $(b,?), $(b,^) (reversal) and $(b,eps).")
+  in
+  let data_opt = Arg.(value & pos 1 (some file) None & info [] ~docv:"DATA") in
+  let graph_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "graph" ] ~docv:"SPEC"
+          ~doc:
+            "Generate the instance instead of reading DATA: \
+             $(b,chain:N), $(b,cycle:N), $(b,grid:HxW) or \
+             $(b,scale-free:NODES:EDGES[:SEED]).")
+  in
+  let from_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"C"
+          ~doc:"Anchor at source $(docv): print the reachable nodes.")
+  in
+  let to_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "to" ] ~docv:"C"
+          ~doc:
+            "With $(b,--from), decide membership of the pair and print a \
+             Boolean.")
+  in
+  let views_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "views" ] ~docv:"FILE"
+          ~doc:
+            "RPQ view definitions ($(b,name = regex ;) ...): evaluate \
+             the maximal contained rewriting of the query over the views \
+             (certain answers) instead of the query directly, reporting \
+             whether the rewriting is lossless.")
+  in
+  let graph_of_spec s =
+    let int_part p =
+      match int_of_string_opt p with
+      | Some n -> n
+      | None -> failwith (Printf.sprintf "bad graph spec %S" s)
+    in
+    match String.split_on_char ':' s with
+    | [ "chain"; n ] -> Rpq_graph.chain (int_part n)
+    | [ "cycle"; n ] -> Rpq_graph.cycle (int_part n)
+    | [ "grid"; hw ] -> (
+        match String.split_on_char 'x' hw with
+        | [ h; w ] -> Rpq_graph.grid (int_part h) (int_part w)
+        | _ -> failwith (Printf.sprintf "bad graph spec %S" s))
+    | [ "scale-free"; n; e ] ->
+        Rpq_graph.scale_free ~nodes:(int_part n) ~edges:(int_part e) ()
+    | [ "scale-free"; n; e; seed ] ->
+        Rpq_graph.scale_free ~seed:(int_part seed) ~nodes:(int_part n)
+          ~edges:(int_part e) ()
+    | _ -> failwith (Printf.sprintf "bad graph spec %S" s)
+  in
+  let run regex data graph from_ to_ views engine domains verbose =
+    set_engine verbose engine domains;
+    try
+      let e = Rpq.parse regex in
+      let i =
+        match (data, graph) with
+        | Some f, None -> instance_of f
+        | None, Some s -> graph_of_spec s
+        | None, None -> failwith "give a DATA file or --graph"
+        | Some _, Some _ -> failwith "give DATA or --graph, not both"
+      in
+      let pair_mode, from_mode, bool_mode =
+        match views with
+        | None ->
+            ( (fun () -> Rpq_translate.eval e i),
+              (fun c -> Rpq_translate.eval_from e i c),
+              fun x y -> Rpq_translate.holds e i x y )
+        | Some vf ->
+            let defs = Rpq.parse_defs (read_file vf) in
+            let rw = Rpq_views.rewrite ~views:defs e in
+            (match rw.Rpq_views.gap with
+            | None -> Format.printf "lossless: true@."
+            | Some w ->
+                Format.printf "lossless: false (gap %s)@."
+                  (Rpq_nfa.word_to_string w));
+            ( (fun () -> Rpq_views.certain rw i),
+              (fun c -> Rpq_views.certain_from rw i c),
+              fun x y -> Rpq_views.certain_holds rw i x y )
+      in
+      (match (from_, to_) with
+      | None, Some _ -> failwith "--to needs --from"
+      | None, None ->
+          List.iter
+            (fun (x, y) ->
+              Format.printf "%a,%a@." Const.pp x Const.pp y)
+            (pair_mode ())
+      | Some c, None ->
+          List.iter
+            (fun x -> Format.printf "%a@." Const.pp x)
+            (from_mode (Const.named c))
+      | Some c, Some d ->
+          Format.printf "%b@." (bool_mode (Const.named c) (Const.named d)));
+      `Ok ()
+    with
+    | Rpq.Error m -> `Error (false, "rpq parse error: " ^ m)
+    | Failure m | Invalid_argument m -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "rpq"
+       ~doc:
+         "Evaluate a regular path query on a graph instance — directly, \
+          or as certain answers through the maximal contained rewriting \
+          over RPQ views.")
+    Term.(
+      ret
+        (const run $ rpq_pos $ data_opt $ graph_arg $ from_arg $ to_arg
+       $ views_arg $ engine_arg $ domains_arg $ verbose_arg))
+
 (* ------------------------------------------------------------------ *)
 (* The decision service (lib/service): [serve] runs the long-lived
    server, [batch] one-shots a request script, [client] drives a running
@@ -656,7 +783,7 @@ let main =
           views (PODS 2020 reproduction).")
     [
       eval_cmd; md_cmd; rewrite_cmd; image_cmd; pebble_cmd; tiling_cmd;
-      serve_cmd; batch_cmd; client_cmd; bench_serve_cmd;
+      rpq_cmd; serve_cmd; batch_cmd; client_cmd; bench_serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

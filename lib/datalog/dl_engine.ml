@@ -83,6 +83,19 @@ let pool_safe = function
   | Parallel | Magic -> Indexed
   | (Naive | Indexed | Vm) as s -> s
 
+(* What a service worker domain should actually run, given the session
+   default.  Unlike [pool_safe] — the conservative "nearest legal
+   strategy" used when the caller's choice must be preserved — this is a
+   preference: the pool-unsafe strategies AND the indexed default all
+   map to [Vm], which matches [Indexed]'s answers round for round but
+   wins on the wide recursive workloads the pool serves, and probes
+   cancellation inside rounds.  An explicit [Naive] (differential
+   debugging) or [Vm] default passes through. *)
+let pool_strategy () =
+  match default () with
+  | Indexed | Parallel | Magic -> Vm
+  | (Naive | Vm) as s -> s
+
 let goal_tuples_naive ?cancel (q : Datalog.query) inst =
   Instance.tuples
     (Dl_eval.fixpoint_naive ?cancel q.Datalog.program inst)

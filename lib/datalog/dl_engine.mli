@@ -92,6 +92,15 @@ val pool_safe : strategy -> strategy
     transform cache) map to [Indexed]; [Naive], [Indexed] and [Vm] pass
     through. *)
 
+val pool_strategy : unit -> strategy
+(** The strategy service worker domains should run, derived from the
+    process default: [Indexed], [Parallel] and [Magic] all map to [Vm]
+    (same answers as [Indexed], faster on the pool's wide recursive
+    workloads, and the only engine probing cancellation inside a round);
+    an explicit [Naive] or [Vm] default passes through.  Use
+    {!pool_safe} instead when a caller-chosen strategy must be preserved
+    as closely as legality allows. *)
+
 val default : unit -> strategy
 val set_default : strategy -> unit
 (** The process-wide default used when [?strategy] is omitted.  Initially

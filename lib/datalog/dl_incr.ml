@@ -314,9 +314,17 @@ let apply ?(cancel = Dl_cancel.none) t ~adds ~dels =
           in
           let out_del = Instance.diff !d full2 in
           let out_add =
-            Instance.filter
-              (fun f -> not (Instance.mem f !state))
-              (Instance.union local_add derived)
+            (* pure-assert fast path: with nothing over-deleted and no
+               IDB seeds, every derived fact is fresh by construction
+               ([fixpoint_delta] only accumulates facts beyond [state1]),
+               so the membership filter is a no-op — skip its
+               O(derived · log) rebuild. *)
+            if Instance.is_empty !d && Instance.is_empty local_add then
+              derived
+            else
+              Instance.filter
+                (fun f -> not (Instance.mem f !state))
+                (Instance.union local_add derived)
           in
           state := full2;
           dall := Instance.union !dall out_del;

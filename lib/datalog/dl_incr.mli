@@ -92,6 +92,18 @@ val valid : t -> bool
 (** [false] once a mutation was cancelled mid-repair; the only remedy is
     to rebuild with {!create}. *)
 
+val apply : ?cancel:Dl_cancel.t -> t -> adds:Fact.t list -> dels:Fact.t list -> unit
+(** Apply a combined edit — assertions and retractions together — in
+    {e one} maintenance pass: the whole payload is normalized into a
+    single add-delta and a single delete-delta, and every stratum runs
+    its counting or DRed repair once over the coalesced deltas (never
+    fact-by-fact).  This is what makes batch edits scale: a 32-edge
+    pendant chain asserted through [apply] costs one delta fixpoint, not
+    32.  [assert_facts] and [retract_facts] are thin wrappers.  Both
+    lists are normalized against the {e pre-edit} base — asserting a
+    present fact and retracting an absent one are no-ops — so a fact
+    named on both sides flips its base membership; don't do that. *)
+
 val assert_facts : ?cancel:Dl_cancel.t -> t -> Fact.t list -> unit
 (** Add the facts to the base and repair the fixpoint.  Facts already in
     the base are no-ops; asserting a fact that was only {e derived} so

@@ -81,7 +81,7 @@ let matcher () =
   match !requested_matcher with
   | Some m -> m
   | None -> (
-      match Lazy.force env_matcher with Some m -> m | None -> Slots)
+      match Lazy.force env_matcher with Some m -> m | None -> Bytecode)
 
 (* ------------------------------------------------------------------ *)
 (* A persistent pool of [size - 1] spawned domains plus the caller.  One

@@ -56,7 +56,10 @@ type matcher = Slots | Bytecode
 val set_matcher : matcher -> unit
 (** Select the worker matcher.  Overrides the [MONDET_PAR_MATCHER]
     environment variable ([slots] | [bytecode]); the default is
-    [Slots]. *)
+    [Bytecode] — the VM wins on the wide rounds this engine exists for
+    (see the [engine/vm-*] and E19 rows), and its in-loop cancel probes
+    keep deadlines live inside workers.  [MONDET_PAR_MATCHER=slots]
+    restores the interpreted matcher. *)
 
 val matcher : unit -> matcher
 (** The matcher the next evaluation will use. *)

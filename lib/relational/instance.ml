@@ -34,6 +34,9 @@ module M = Map.Make (Int)
    relations. *)
 type rel = {
   ts : TS.t;
+  n : int; (* cached [TS.cardinal ts] — [Set.cardinal] walks the whole
+              tree, and the per-round unions of a delta fixpoint were
+              paying that O(n) walk just to pick the bigger operand *)
   s1 : int; (* sum over tuples of Fact.tuple_hash, first stream *)
   s2 : int; (* second stream; native addition wraps, order-independent *)
   mutable idx : Index.t option;
@@ -54,7 +57,7 @@ let sums_of rid ts =
 
 let mk rid ts =
   let s1, s2 = sums_of rid ts in
-  { ts; s1; s2; idx = None }
+  { ts; n = TS.cardinal ts; s1; s2; idx = None }
 
 (* recompute the instance sums from the relation sums: O(#relations) *)
 let wrap rels =
@@ -78,7 +81,9 @@ let add (f : Fact.t) t =
   | None ->
       {
         rels =
-          M.add f.rid { ts = TS.singleton f.args; s1 = f.h1; s2 = f.h2; idx = None } t.rels;
+          M.add f.rid
+            { ts = TS.singleton f.args; n = 1; s1 = f.h1; s2 = f.h2; idx = None }
+            t.rels;
         f1 = t.f1 + f.h1;
         f2 = t.f2 + f.h2;
       }
@@ -88,7 +93,13 @@ let add (f : Fact.t) t =
         {
           rels =
             M.add f.rid
-              { ts = TS.add f.args r.ts; s1 = r.s1 + f.h1; s2 = r.s2 + f.h2; idx = None }
+              {
+                ts = TS.add f.args r.ts;
+                n = r.n + 1;
+                s1 = r.s1 + f.h1;
+                s2 = r.s2 + f.h2;
+                idx = None;
+              }
               t.rels;
           f1 = t.f1 + f.h1;
           f2 = t.f2 + f.h2;
@@ -105,7 +116,7 @@ let remove (f : Fact.t) t =
           if TS.is_empty ts then M.remove f.rid t.rels
           else
             M.add f.rid
-              { ts; s1 = r.s1 - f.h1; s2 = r.s2 - f.h2; idx = None }
+              { ts; n = r.n - 1; s1 = r.s1 - f.h1; s2 = r.s2 - f.h2; idx = None }
               t.rels
         in
         { rels; f1 = t.f1 - f.h1; f2 = t.f2 - f.h2 }
@@ -136,7 +147,7 @@ let mem (f : Fact.t) t =
   | None -> false
   | Some r -> TS.mem f.args r.ts
 
-let size t = M.fold (fun _ r n -> n + TS.cardinal r.ts) t.rels 0
+let size t = M.fold (fun _ r n -> n + r.n) t.rels 0
 let is_empty t = M.is_empty t.rels
 
 (* Incremental union: when one side subsumes the other, its whole [rel]
@@ -150,12 +161,10 @@ let union a b =
   wrap
     (M.union
        (fun rid x y ->
-         if TS.subset y.ts x.ts then Some x
-         else if TS.subset x.ts y.ts then Some y
+         if x.n >= y.n && TS.subset y.ts x.ts then Some x
+         else if y.n >= x.n && TS.subset x.ts y.ts then Some y
          else
-           let big, small =
-             if TS.cardinal x.ts >= TS.cardinal y.ts then (x, y) else (y, x)
-           in
+           let big, small = if x.n >= y.n then (x, y) else (y, x) in
            let novel = TS.elements (TS.diff small.ts big.ts) in
            let s1, s2 =
              List.fold_left
@@ -164,7 +173,15 @@ let union a b =
                  (s1 + h1, s2 + h2))
                (big.s1, big.s2) novel
            in
-           let r = { ts = TS.union big.ts small.ts; s1; s2; idx = None } in
+           let r =
+             {
+               ts = TS.union big.ts small.ts;
+               n = big.n + List.length novel;
+               s1;
+               s2;
+               idx = None;
+             }
+           in
            (match big.idx with
            | Some idx -> r.idx <- Some (Index.extend idx novel)
            | None -> ());
@@ -181,7 +198,7 @@ let diff a b =
          | Some x, Some y ->
              let d = TS.diff x.ts y.ts in
              if TS.is_empty d then None
-             else if TS.cardinal d = TS.cardinal x.ts then Some x
+             else if TS.cardinal d = x.n then Some x
              else Some (mk rid d))
        a.rels b.rels)
 
@@ -229,10 +246,10 @@ let tuples t rel =
   match find_rel t rel with None -> [] | Some r -> TS.elements r.ts
 
 let cardinal_id t rid =
-  match M.find_opt rid t.rels with None -> 0 | Some r -> TS.cardinal r.ts
+  match M.find_opt rid t.rels with None -> 0 | Some r -> r.n
 
 let cardinal t rel =
-  match find_rel t rel with None -> 0 | Some r -> TS.cardinal r.ts
+  match find_rel t rel with None -> 0 | Some r -> r.n
 
 let index_id t rid =
   match M.find_opt rid t.rels with None -> None | Some r -> Some (index_of r)

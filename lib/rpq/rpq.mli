@@ -1,0 +1,86 @@
+(** Regular path queries: regular expressions over binary relation
+    symbols, with inverse edges.
+
+    An RPQ selects node pairs [(x, y)] of a graph instance connected by
+    a path whose edge labels spell a word of the expression's language;
+    traversing relation [r] forwards reads the letter [r], traversing it
+    backwards reads [r^].  This is the query surface of
+    Francis–Segoufin–Sirangelo, "Datalog Rewritings of Regular Path
+    Queries using Views" (arXiv:1511.00938); {!Rpq_nfa} compiles it to
+    word automata, {!Rpq_translate} to linear Datalog over the engine
+    facade, and {!Rpq_views} rewrites it over RPQ views.
+
+    {2 Semantics of the empty word}
+
+    When [ε ∈ L(e)], the all-pairs answer includes [(x, x)] for every
+    node [x] occurring in the sub-instance restricted to the
+    expression's alphabet — not for every constant of the full instance.
+    A query whose alphabet is empty ([eps], [eps?], …) therefore has an
+    empty all-pairs answer.  Source-anchored evaluation
+    ({!Rpq_translate.eval_from}) instead always includes the given
+    source when [ε ∈ L(e)]: the source is named explicitly, so it needs
+    no witnessing edge. *)
+
+type dir = Fwd | Bwd
+
+type t =
+  | Eps
+  | Sym of string * dir  (** an edge relation, traversed Fwd or Bwd *)
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+exception Error of string
+(** Parse error, with a character position in the message. *)
+
+val parse : string -> t
+(** Concrete syntax:
+
+    {v
+    alt   ::= cat ('|' cat)*
+    cat   ::= post (('.')? post)*          concatenation, '.' optional
+    post  ::= atom ('*' | '+' | '?' | '^')*
+    atom  ::= IDENT | 'eps' | '(' alt ')'
+    v}
+
+    [IDENT] is a strict identifier (a letter or underscore followed by
+    letters, digits and underscores) — the postfix operators are not
+    identifier characters here, unlike in the {!Parse} surface syntax.  [^] reverses an expression: on a symbol it
+    flips the traversal direction, and on a composite it is pushed
+    inwards ({!rev}), so the parsed tree never contains a reversal node.
+    @raise Error on malformed input. *)
+
+val parse_defs : string -> (string * t) list
+(** A sequence of named definitions [name = regex ; name = regex ; …]
+    (trailing [;] allowed).  Definition order is kept; duplicate names
+    are an {!Error}. *)
+
+val to_string : t -> string
+(** Minimal-parentheses rendering; [parse (to_string e)] is structurally
+    equal to [e]. *)
+
+val rev : t -> t
+(** The reversal [e^]: [L (rev e) = { w^ | w ∈ L e }] where the reversal
+    of a word flips letter order and each letter's direction.  Involutive. *)
+
+val nullable : t -> bool
+(** Is [ε ∈ L(e)]? *)
+
+val rels : t -> string list
+(** The relation names of the alphabet, sorted, without duplicates and
+    without direction. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val fingerprint : t -> int * int
+(** Structural 126-bit fingerprint in the style of
+    {!Datalog.fingerprint}: equal expressions fingerprint equal, unequal
+    fingerprints prove inequality.  Relation names contribute their
+    interned {!Symtab} id, so values are process-local. *)
+
+val fingerprint_hex : t -> string
+
+val pp : t Fmt.t

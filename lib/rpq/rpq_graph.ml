@@ -1,0 +1,76 @@
+(* Graph generators.  LCG state stays in a ref local to one generator
+   call, so concurrent callers and repeated calls always see the same
+   stream. *)
+
+let node i = Const.named (Printf.sprintf "n%d" i)
+let grid_node i j = Const.named (Printf.sprintf "g%d_%d" i j)
+
+let edge label x y = Fact.make label [ x; y ]
+
+let chain ?(label = "e") n =
+  let rec go i acc =
+    if i >= n - 1 then acc
+    else go (i + 1) (Instance.add (edge label (node i) (node (i + 1))) acc)
+  in
+  go 0 Instance.empty
+
+let cycle ?(label = "e") n =
+  Instance.add (edge label (node (n - 1)) (node 0)) (chain ~label n)
+
+let grid ?(right = "r") ?(down = "d") h w =
+  let acc = ref Instance.empty in
+  for i = 0 to h - 1 do
+    for j = 0 to w - 1 do
+      if j + 1 < w then
+        acc := Instance.add (edge right (grid_node i j) (grid_node i (j + 1))) !acc;
+      if i + 1 < h then
+        acc := Instance.add (edge down (grid_node i j) (grid_node (i + 1) j)) !acc
+    done
+  done;
+  !acc
+
+let scale_free ?(seed = 1) ?(labels = [ "e" ]) ~nodes ~edges () =
+  if nodes < 2 then invalid_arg "Rpq_graph.scale_free: need at least 2 nodes";
+  if labels = [] then invalid_arg "Rpq_graph.scale_free: need a label";
+  let state = ref (seed * 2 + 1) in
+  let rand bound =
+    (* 48-bit drand48-style LCG — fits OCaml's boxed-free int range *)
+    state := ((!state * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+    (* the multiplier's low bits cycle fast — draw from the top *)
+    let top = !state lsr 17 in
+    top mod bound
+  in
+  let labels = Array.of_list labels in
+  (* endpoint pool for degree-proportional target sampling, bootstrapped
+     by a short chain so early draws have somewhere to land *)
+  let boot = min nodes 4 in
+  let pool = ref [] and pool_n = ref 0 in
+  let note v =
+    pool := v :: !pool;
+    incr pool_n
+  in
+  let pool_arr = ref [||] and pool_arr_n = ref 0 in
+  let pick_pool () =
+    (* refresh the array view lazily; the pool only grows *)
+    if !pool_arr_n <> !pool_n then begin
+      pool_arr := Array.of_list !pool;
+      pool_arr_n := !pool_n
+    end;
+    !pool_arr.(rand !pool_arr_n)
+  in
+  let acc = ref Instance.empty in
+  let add_edge l x y =
+    acc := Instance.add (edge l x y) !acc;
+    note x;
+    note y
+  in
+  for i = 0 to boot - 2 do
+    add_edge labels.(0) (node i) (node (i + 1))
+  done;
+  for _ = 1 to edges - (boot - 1) do
+    let l = labels.(rand (Array.length labels)) in
+    let x = node (rand nodes) in
+    let y = if rand 10 < 8 then pick_pool () else node (rand nodes) in
+    add_edge l x y
+  done;
+  !acc

@@ -1,0 +1,33 @@
+(** Deterministic graph workloads for the RPQ benches and experiments.
+
+    All generators are pure functions of their parameters — randomness
+    comes from an inline LCG seeded explicitly, never from global state,
+    so bench rows and experiment tables reproduce bit-for-bit. *)
+
+val node : int -> Const.t
+(** The constant [n<i>]. *)
+
+val grid_node : int -> int -> Const.t
+(** The constant [g<i>_<j>]. *)
+
+val chain : ?label:string -> int -> Instance.t
+(** [chain n]: nodes [n0 … n(n-1)], edges [ni → n(i+1)] labeled
+    [label] (default ["e"]). *)
+
+val cycle : ?label:string -> int -> Instance.t
+(** [chain n] plus the closing edge [n(n-1) → n0]. *)
+
+val grid : ?right:string -> ?down:string -> int -> int -> Instance.t
+(** [grid h w]: nodes [gi_j], edges [gi_j → gi_(j+1)] labeled [right]
+    (default ["r"]) and [gi_j → g(i+1)_j] labeled [down] (default
+    ["d"]). *)
+
+val scale_free :
+  ?seed:int -> ?labels:string list -> nodes:int -> edges:int -> unit -> Instance.t
+(** Preferential-attachment multigraph: [edges] edges over nodes
+    [n0 … n(nodes-1)], each from a uniformly random source to a target
+    drawn degree-proportionally (uniformly from the endpoints seen so
+    far, bootstrapped by a chain over the first few nodes), labeled
+    uniformly from [labels] (default [["e"]]).  Duplicate edges
+    collapse, so the instance may hold slightly fewer than [edges]
+    facts. *)

@@ -1,0 +1,84 @@
+(** View-based rewriting of RPQs, after Calvanese–De Giacomo–Lenzerini–
+    Vardi and Francis–Segoufin–Sirangelo (arXiv:1511.00938).
+
+    Given RPQ views [V_ω] and an RPQ [Q], {!rewrite} constructs the
+    {e maximal contained rewriting} [R_max]: the regular language over
+    the view alphabet [Ω] of exactly the ω-words whose {e every}
+    expansion (replace each [ω] by a word of [L(V_ω)]) lands in [L(Q)].
+    The construction is the classical automaton one, on this repo's
+    machinery: determinize [Q]'s word NFA over the combined edge
+    alphabet ({!Rpq_nfa.determinize}), read off a view-level automaton
+    [B] whose [(p, ω, q)] transitions witness [L(V_ω) ∩ L(A_d\[p→q\]) ≠ ∅]
+    (a product reachability per state pair), and complement [B] over
+    [Ω] — emptiness and the final containment certificate both ride the
+    tree-automaton layer ({!Rpq_nfa.subseteq}, hence {!Nta.product}).
+
+    Soundness is unconditional: [σ(L(R_max)) ⊆ L(Q)], so every
+    rewriting answer is an answer of [Q] on the base graph.  When the
+    substitution of the views into [R_max] covers all of [L(Q)] the
+    rewriting is {e lossless} and {!certain} equals direct evaluation on
+    every instance; otherwise {!gap} holds a witness word of
+    [L(Q) \ σ(L(R_max))].
+
+    {2 The empty word, again}
+
+    [ε ∈ L(R_max)] iff [ε ∈ L(Q)] (complementation over a total DFA
+    preserves the empty-word verdict), and {!certain} keeps the
+    convention of {!Rpq}: the diagonal is drawn from the {e base}
+    instance restricted to [Q]'s alphabet — the evaluation functions
+    here take the base graph and compute the view image internally, so
+    rewriting answers stay comparable with {!Rpq_translate.eval} on the
+    nose. *)
+
+type t = private {
+  views : (string * Rpq.t) list;
+  query : Rpq.t;
+  dfa : Rpq_nfa.t;  (** [A_d]: [Q]'s NFA determinized over [Σ], total *)
+  rauto : Rpq_nfa.t;  (** [R_max], a DFA over the view-name alphabet *)
+  lossless : bool;
+  gap : Rpq_nfa.letter list option;
+      (** a word of [L(Q) \ σ(L(R_max))]; [None] iff lossless *)
+}
+
+val rewrite : views:(string * Rpq.t) list -> Rpq.t -> t
+(** @raise Invalid_argument on duplicate view names or view names that
+    collide with the reserved [rpq_] relation prefix. *)
+
+val image :
+  ?strategy:Dl_engine.strategy ->
+  ?cancel:Dl_cancel.t ->
+  (string * Rpq.t) list ->
+  Instance.t ->
+  Instance.t
+(** The view instance [V(G)]: one binary relation per view name holding
+    that view's all-pairs answer on the base graph. *)
+
+val certain :
+  ?strategy:Dl_engine.strategy ->
+  ?cancel:Dl_cancel.t ->
+  t ->
+  Instance.t ->
+  (Const.t * Const.t) list
+(** Rewriting answers on the base graph: evaluate [R_max]'s Datalog
+    translation over the view image, plus the base diagonal if
+    [ε ∈ L(Q)].  Sorted; always a subset of
+    [Rpq_translate.eval query], and equal to it when {!lossless}. *)
+
+val certain_from :
+  ?strategy:Dl_engine.strategy ->
+  ?cancel:Dl_cancel.t ->
+  t ->
+  Instance.t ->
+  Const.t ->
+  Const.t list
+(** Source-anchored rewriting answers; includes the source iff
+    [ε ∈ L(Q)], matching {!Rpq_translate.eval_from}. *)
+
+val certain_holds :
+  ?strategy:Dl_engine.strategy ->
+  ?cancel:Dl_cancel.t ->
+  t ->
+  Instance.t ->
+  Const.t ->
+  Const.t ->
+  bool

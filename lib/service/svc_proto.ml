@@ -15,10 +15,20 @@
      ID mondet-test SESSION PROG VIEWS [opts]
      ID certain-answers SESSION PROG VIEWS INST [opts]
      ID rewrite-check SESSION PROG VIEWS [opts]
+     ID rpq-load SESSION NAME [opts] : DEFS
+     ID rpq-eval SESSION RPQ INST [TUPLE] [opts]
+     ID rpq-rewrite SESSION RPQ VIEWSET INST [TUPLE] [opts]
      ID stats
 
    Options: [deadline=MS] on any verb; [depth=N] on mondet-test;
    [samples=N] on rewrite-check.
+
+   The [rpq-load] payload is a {!Rpq.parse_defs} definition list
+   ([name = regex ; …]); it registers each definition as a session RPQ
+   and the whole ordered list as the set NAME.  The optional TUPLE of
+   the RPQ query verbs selects the evaluation mode: absent = all pairs,
+   [(c)] = targets reachable from the source [c], [(c1,c2)] = Boolean
+   membership.
 
    Responses:
 
@@ -46,6 +56,14 @@ type verb =
   | Mondet_test of { program : string; views : string; depth : int option }
   | Certain_answers of { program : string; views : string; instance : string }
   | Rewrite_check of { program : string; views : string; samples : int option }
+  | Rpq_load of { name : string; text : string }
+  | Rpq_eval of { rpq : string; instance : string; tuple : string list option }
+  | Rpq_rewrite of {
+      rpq : string;
+      views : string;
+      instance : string;
+      tuple : string list option;
+    }
   | Stats
 
 type request = {
@@ -82,6 +100,10 @@ let one_line s =
 
 let opt_kv k = function None -> [] | Some v -> [ Printf.sprintf "%s=%d" k v ]
 
+let opt_tuple = function
+  | None -> []
+  | Some t -> [ "(" ^ String.concat "," t ^ ")" ]
+
 let print_request (r : request) =
   let sess = match r.session with Some s -> [ s ] | None -> [] in
   let deadline = opt_kv "deadline" r.deadline_ms in
@@ -114,6 +136,14 @@ let print_request (r : request) =
     | Rewrite_check { program; views; samples } ->
         [ r.id; "rewrite-check" ] @ sess @ [ program; views ]
         @ opt_kv "samples" samples @ deadline
+    | Rpq_load { name; text } ->
+        [ r.id; "rpq-load" ] @ sess @ [ name ] @ deadline @ [ ":"; text ]
+    | Rpq_eval { rpq; instance; tuple } ->
+        [ r.id; "rpq-eval" ] @ sess @ [ rpq; instance ]
+        @ opt_tuple tuple @ deadline
+    | Rpq_rewrite { rpq; views; instance; tuple } ->
+        [ r.id; "rpq-rewrite" ] @ sess @ [ rpq; views; instance ]
+        @ opt_tuple tuple @ deadline
     | Stats -> [ r.id; "stats" ] @ deadline
   in
   String.concat " " parts
@@ -187,6 +217,12 @@ let parse_tuple w =
         (fun c -> word "tuple constant" c)
         (String.split_on_char ',' inner)
 
+(* the optional trailing tuple of the RPQ query verbs *)
+let take_tuple = function
+  | [] -> None
+  | [ t ] -> Some (parse_tuple t)
+  | _ :: w :: _ -> bad "unexpected argument %S" w
+
 (* [parse_request line] either parses the line or reports (id, message)
    where [id] is the line's first token (["-"] if there is none), so the
    server can still address its error response. *)
@@ -257,6 +293,19 @@ let parse_request line : (request, string * string) Stdlib.result =
                    else Retract { instance; text }) }
           | (("assert" | "retract") as v) :: _ ->
               bad "%s needs: SESSION INST : FACTS" v
+          | "rpq-load" :: sess :: name :: rest ->
+              let pos, opts = split_opts rest in
+              if pos <> [] then bad "unexpected argument %S" (List.hd pos);
+              let deadline_ms, opts = take_opt opts "deadline" in
+              no_more_opts opts;
+              let text =
+                match payload with
+                | Some p -> p
+                | None -> bad "rpq-load needs a ' : ' payload of definitions"
+              in
+              { id; session = Some (word "session" sess); deadline_ms;
+                verb = Rpq_load { name = word "name" name; text } }
+          | "rpq-load" :: _ -> bad "rpq-load needs: SESSION NAME : DEFS"
           | verb :: _ when payload <> None ->
               bad "verb %S takes no ' : ' payload" verb
           | "eval" :: sess :: prog :: inst :: rest ->
@@ -303,6 +352,23 @@ let parse_request line : (request, string * string) Stdlib.result =
               { id; session = Some (word "session" sess); deadline_ms;
                 verb = Rewrite_check { program = word "program" prog;
                                        views = word "views" views; samples } }
+          | "rpq-eval" :: sess :: rpq :: inst :: rest ->
+              let pos, opts = split_opts rest in
+              let tuple = take_tuple pos in
+              let deadline_ms, opts = take_opt opts "deadline" in
+              no_more_opts opts;
+              { id; session = Some (word "session" sess); deadline_ms;
+                verb = Rpq_eval { rpq = word "rpq" rpq;
+                                  instance = word "instance" inst; tuple } }
+          | "rpq-rewrite" :: sess :: rpq :: views :: inst :: rest ->
+              let pos, opts = split_opts rest in
+              let tuple = take_tuple pos in
+              let deadline_ms, opts = take_opt opts "deadline" in
+              no_more_opts opts;
+              { id; session = Some (word "session" sess); deadline_ms;
+                verb = Rpq_rewrite { rpq = word "rpq" rpq;
+                                     views = word "views" views;
+                                     instance = word "instance" inst; tuple } }
           | "stats" :: rest ->
               let pos, opts = split_opts rest in
               if pos <> [] then bad "unexpected argument %S" (List.hd pos);

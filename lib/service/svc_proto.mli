@@ -14,6 +14,9 @@ ID holds SESSION PROG INST (C1,...,Cn) [deadline=MS]
 ID mondet-test SESSION PROG VIEWS [depth=N] [deadline=MS]
 ID certain-answers SESSION PROG VIEWS INST [deadline=MS]
 ID rewrite-check SESSION PROG VIEWS [samples=N] [deadline=MS]
+ID rpq-load SESSION NAME [deadline=MS] : DEFS
+ID rpq-eval SESSION RPQ INST [(C1[,C2])] [deadline=MS]
+ID rpq-rewrite SESSION RPQ VIEWSET INST [(C1[,C2])] [deadline=MS]
 ID stats [deadline=MS]
     v}
 
@@ -26,6 +29,17 @@ ID stats [deadline=MS]
     size and [K] the number of materialized fixpoints incrementally
     maintained ({!Svc_service} registers one per cached evaluation over
     the instance).  Retracting an absent fact is a no-op, not an error.
+    The [rpq-load] payload is a {!Rpq.parse_defs} definition list
+    ([name = regex ; …]): each definition becomes a session RPQ usable
+    as the RPQ argument of [rpq-eval]/[rpq-rewrite], and the ordered
+    list as a whole becomes the set NAME usable as their VIEWSET
+    argument.  The optional tuple selects the evaluation mode — absent:
+    all pairs; [(c)]: nodes reachable from the source [c]; [(c1,c2)]:
+    Boolean membership.  [rpq-rewrite] evaluates the maximal contained
+    rewriting of the RPQ over the view set on the instance
+    ({!Rpq_views}); its body leads with [lossless=BOOL]
+    (and [gap=WORD] when lossy) before the answers.
+
     Responses are [ID ok BODY], [ID error MESSAGE], [ID timeout] or
     [ID busy].  [busy] is the load-shedding verdict — admission control
     refused the connection, or a per-session request quota was exceeded;
@@ -42,6 +56,14 @@ type verb =
   | Mondet_test of { program : string; views : string; depth : int option }
   | Certain_answers of { program : string; views : string; instance : string }
   | Rewrite_check of { program : string; views : string; samples : int option }
+  | Rpq_load of { name : string; text : string }
+  | Rpq_eval of { rpq : string; instance : string; tuple : string list option }
+  | Rpq_rewrite of {
+      rpq : string;
+      views : string;
+      instance : string;
+      tuple : string list option;
+    }
   | Stats
 
 type request = {

@@ -120,6 +120,20 @@ let views_key t vs =
   | Fingerprint -> View.fingerprint_hex vs
   | Printed -> views_repr vs
 
+let rpq_key t e =
+  match t.key_mode with
+  | Fingerprint -> Rpq.fingerprint_hex e
+  | Printed -> Rpq.to_string e
+
+(* a view set keys as its named members in order: the name matters (it
+   becomes the view relation) as much as the expression *)
+let rpq_set_key t defs =
+  String.concat ";" (List.map (fun (n, e) -> n ^ "=" ^ rpq_key t e) defs)
+
+let tuple_repr = function
+  | None -> "-"
+  | Some l -> "(" ^ String.concat "," l ^ ")"
+
 (* Fingerprint parts are fixed-width hex (only trailing parts vary in
    length), so plain concatenation is already injective and the digest
    step of the legacy scheme is dropped entirely. *)
@@ -153,6 +167,48 @@ let holds_body ?strategy ~cancel q i tuple =
       arity;
   let tup = Array.of_list (List.map Const.named tuple) in
   if Dl_engine.holds ?strategy ~cancel q i tup then "true" else "false"
+
+let format_pairs ps = format_tuples (List.map (fun (x, y) -> [| x; y |]) ps)
+let format_nodes ns = format_tuples (List.map (fun c -> [| c |]) ns)
+
+(* the optional tuple selects the mode: absent = all pairs, one constant
+   = nodes reachable from that source, two = Boolean membership *)
+let rpq_eval_body ?strategy ~cancel e i tuple =
+  match tuple with
+  | None -> format_pairs (Rpq_translate.eval ?strategy ~cancel e i)
+  | Some [ x ] ->
+      format_nodes
+        (Rpq_translate.eval_from ?strategy ~cancel e i (Const.named x))
+  | Some [ x; y ] ->
+      if
+        Rpq_translate.holds ?strategy ~cancel e i (Const.named x)
+          (Const.named y)
+      then "true"
+      else "false"
+  | Some l -> reject "rpq tuple has %d constants, expected 1 or 2"
+                (List.length l)
+
+let rpq_rewrite_body ?strategy ~cancel rw i tuple =
+  let answers =
+    match tuple with
+    | None -> format_pairs (Rpq_views.certain ?strategy ~cancel rw i)
+    | Some [ x ] ->
+        format_nodes
+          (Rpq_views.certain_from ?strategy ~cancel rw i (Const.named x))
+    | Some [ x; y ] ->
+        if
+          Rpq_views.certain_holds ?strategy ~cancel rw i (Const.named x)
+            (Const.named y)
+        then "true"
+        else "false"
+    | Some l ->
+        reject "rpq tuple has %d constants, expected 1 or 2" (List.length l)
+  in
+  match rw.Rpq_views.gap with
+  | None -> "lossless=true " ^ answers
+  | Some w ->
+      Printf.sprintf "lossless=false gap=%s %s" (Rpq_nfa.word_to_string w)
+        answers
 
 let mondet_body ?strategy ~cancel q vs depth =
   match Md_decide.decide ?max_depth:depth ?engine:strategy ~cancel q vs with
@@ -279,6 +335,7 @@ let exec ~cancel f =
   | Reject m -> Error_ m
   | Svc_session.Missing m -> Error_ m
   | Parse.Error m -> Error_ ("parse error: " ^ m)
+  | Rpq.Error m -> Error_ ("rpq parse error: " ^ m)
   | Md_rewrite.Unsupported m | Md_decide.Unsupported m ->
       Error_ ("unsupported: " ^ m)
   | Invalid_argument m -> Error_ m
@@ -406,7 +463,37 @@ let plan_in ?(use_mats = false) t s ~cancel req : plan =
         pworker_safe = false;
         pcompute = (fun strategy -> rewrite_body ?strategy ~cancel q vs samples);
       }
-  | Load _ | Assert _ | Retract _ | Stats ->
+  | Rpq_eval { rpq; instance; tuple } ->
+      let e = Svc_session.rpq s rpq in
+      let i = Svc_session.instance s instance in
+      {
+        pkey =
+          cache_key t
+            [ "rpq-eval"; rpq_key t e; instance_key t i; tuple_repr tuple ];
+        pgroup = Instance.fingerprint_hex i;
+        pworker_safe = true;
+        pcompute = (fun strategy -> rpq_eval_body ?strategy ~cancel e i tuple);
+      }
+  | Rpq_rewrite { rpq; views; instance; tuple } ->
+      let e = Svc_session.rpq s rpq in
+      let vs = Svc_session.rpq_set s views in
+      let i = Svc_session.instance s instance in
+      {
+        pkey =
+          cache_key t
+            [ "rpq-rewrite"; rpq_key t e; rpq_set_key t vs; instance_key t i;
+              tuple_repr tuple ];
+        pgroup = Instance.fingerprint_hex i;
+        pworker_safe = true;
+        (* the rewrite construction is pure automata work (Symtab is the
+           only shared structure it touches, and that is domain-safe), so
+           it rides the worker thunk with the evaluation *)
+        pcompute =
+          (fun strategy ->
+            rpq_rewrite_body ?strategy ~cancel (Rpq_views.rewrite ~views:vs e)
+              i tuple);
+      }
+  | Load _ | Rpq_load _ | Assert _ | Retract _ | Stats ->
       assert false (* handled before planning *)
 
 let plan ?use_mats t ~cancel req : plan =
@@ -427,6 +514,14 @@ let do_load_in s kind name text =
 let do_load t sess kind name text =
   do_load_in (session_or_create t sess) kind name text
 
+let do_rpq_load_in s name text =
+  let defs = Rpq.parse_defs text in
+  Svc_session.set_rpqs s name defs;
+  Printf.sprintf "loaded rpq %s defs=%d" name (List.length defs)
+
+let do_rpq_load t sess name text =
+  do_rpq_load_in (session_or_create t sess) name text
+
 (* bookkeeping for one finished request; counters are atomic so both the
    coordinator and the TCP workers may call this *)
 let record t result =
@@ -444,6 +539,8 @@ let handle t req : response =
     match req.verb with
     | Load { kind; name; text } ->
         exec ~cancel (fun () -> do_load t (req_session req) kind name text)
+    | Rpq_load { name; text } ->
+        exec ~cancel (fun () -> do_rpq_load t (req_session req) name text)
     | Assert { instance; text } ->
         (* mutations are never cached (they change state, every execution
            matters) and require an existing session *)
@@ -506,6 +603,10 @@ let handle_batch t reqs : response list =
         slots.(idx) <-
           Done
             (exec ~cancel (fun () -> do_load t (req_session req) kind name text))
+    | Rpq_load { name; text } ->
+        slots.(idx) <-
+          Done
+            (exec ~cancel (fun () -> do_rpq_load t (req_session req) name text))
     | Assert { instance; text } ->
         (* executed at its batch position like a load, so later verbs in
            the batch plan against the mutated instance *)
@@ -564,15 +665,15 @@ let handle_batch t reqs : response list =
         (fun () ->
           List.iter
             (fun c ->
-              (* workers run the nearest pool-safe engine: Parallel would
-                 re-enter the pool they themselves run on, Magic's
-                 transform cache is unguarded — both demote to Indexed;
-                 a vm/indexed/naive default passes through *)
+              (* workers run the pool preference: vm for the indexed
+                 default and for the pool-unsafe strategies (Parallel
+                 would re-enter the pool they themselves run on, Magic's
+                 transform cache is unguarded); an explicit naive/vm
+                 default passes through *)
               c.cout <-
                 Some
                   (exec ~cancel:c.ccancel (fun () ->
-                       c.cplan.pcompute
-                         (Some (Dl_engine.pool_safe (Dl_engine.default ()))))))
+                       c.cplan.pcompute (Some (Dl_engine.pool_strategy ())))))
             cs)
         :: acc)
       groups []
@@ -641,7 +742,7 @@ let handle_concurrent t req : response =
         try
           Ok
             (match req.verb with
-            | Load _ -> session_or_create t (req_session req)
+            | Load _ | Rpq_load _ -> session_or_create t (req_session req)
             | _ -> session t (req_session req))
         with Reject m -> Error m
       in
@@ -662,6 +763,8 @@ let handle_concurrent t req : response =
                    match req.verb with
                    | Load { kind; name; text } ->
                        exec ~cancel (fun () -> do_load_in s kind name text)
+                   | Rpq_load { name; text } ->
+                       exec ~cancel (fun () -> do_rpq_load_in s name text)
                    | Assert { instance; text } ->
                        (* under the session lock: serialized against every
                           other request touching this session *)
@@ -686,12 +789,10 @@ let handle_concurrent t req : response =
                            | None ->
                                let compute () =
                                  (* concurrent connection workers: same
-                                    pool-safe demotion as the batch path *)
+                                    pool preference as the batch path *)
                                  exec ~cancel (fun () ->
                                      p.pcompute
-                                       (Some
-                                          (Dl_engine.pool_safe
-                                             (Dl_engine.default ()))))
+                                       (Some (Dl_engine.pool_strategy ())))
                                in
                                let r =
                                  if p.pworker_safe then compute ()

@@ -16,6 +16,10 @@ type t = {
   programs : (string, Datalog.query) Hashtbl.t;
   views : (string, View.collection) Hashtbl.t;
   instances : (string, Instance.t) Hashtbl.t;
+  rpqs : (string, Rpq.t) Hashtbl.t;
+  (* the ordered definition lists as loaded, so a load's NAME doubles as
+     a view set for [rpq-rewrite] *)
+  rpq_sets : (string, (string * Rpq.t) list) Hashtbl.t;
   (* materialized fixpoints over an instance, keyed by instance name and
      then by program fingerprint; maintained incrementally by the
      mutation verbs and consulted by eval/holds.  Owned by the session
@@ -38,6 +42,8 @@ let create name =
     programs = Hashtbl.create 8;
     views = Hashtbl.create 8;
     instances = Hashtbl.create 8;
+    rpqs = Hashtbl.create 8;
+    rpq_sets = Hashtbl.create 8;
     mats = Hashtbl.create 8;
     win_start = neg_infinity;
     win_count = 0;
@@ -108,3 +114,21 @@ let instance t n =
   match Hashtbl.find_opt t.instances n with
   | Some i -> i
   | None -> missing "no instance %S in session %S" n t.name
+
+(* One rpq-load registers every definition individually *and* the
+   ordered list under the load's own name, so the same NAME serves as an
+   RPQ (when the list is a singleton it shadows nothing) and as the view
+   set of [rpq-rewrite]. *)
+let set_rpqs t n defs =
+  List.iter (fun (dn, e) -> Hashtbl.replace t.rpqs dn e) defs;
+  Hashtbl.replace t.rpq_sets n defs
+
+let rpq t n =
+  match Hashtbl.find_opt t.rpqs n with
+  | Some e -> e
+  | None -> missing "no rpq %S in session %S" n t.name
+
+let rpq_set t n =
+  match Hashtbl.find_opt t.rpq_sets n with
+  | Some l -> l
+  | None -> missing "no rpq set %S in session %S" n t.name

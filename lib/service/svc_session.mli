@@ -49,6 +49,15 @@ val program : t -> string -> Datalog.query
 val views : t -> string -> View.collection
 val instance : t -> string -> Instance.t
 
+val set_rpqs : t -> string -> (string * Rpq.t) list -> unit
+(** Register an [rpq-load]'s parsed definitions: each definition
+    individually (usable wherever a verb takes an RPQ name) and the
+    ordered list as a whole under the load's own name (usable as the
+    view set of [rpq-rewrite]). *)
+
+val rpq : t -> string -> Rpq.t
+val rpq_set : t -> string -> (string * Rpq.t) list
+
 (** {2 Materialized fixpoints}
 
     Incrementally maintained fixpoints ({!Dl_incr.t}) over a named

@@ -9,7 +9,8 @@
 #      exist in the implementation (catches docs outliving code);
 #   3. every `--flag` README.md mentions must still be a flag defined in
 #      bin/mondet.ml (catches docs of removed/renamed options);
-#   4. every mondet subcommand must appear in README.md.
+#   4. every mondet subcommand must appear in README.md;
+#   5. every wire verb must appear in the docs/GUIDE.md walkthroughs.
 #
 # Run from the repository root: scripts/check_docs.sh
 
@@ -55,6 +56,11 @@ flags=$(grep -o -- '`--[a-z-]*' README.md | sed 's/`--//' | sort -u)
 for f in $flags; do
   grep -q "\"$f\"" "$main_ml" ||
     err "README.md documents flag --$f, not defined in $main_ml"
+done
+
+# 5. verbs walked through in the guide
+for v in $verbs; do
+  grep -q "$v" docs/GUIDE.md || err "verb '$v' not shown in docs/GUIDE.md"
 done
 
 # 4. subcommands reachable from README

@@ -12,6 +12,7 @@ let () =
       ("views", Test_views.suite);
       ("treewidth", Test_treewidth.suite);
       ("automata", Test_automata.suite);
+      ("rpq", Test_rpq.suite);
       ("games", Test_games.suite);
       ("tiling", Test_tiling.suite);
       ("machine", Test_machine.suite);

@@ -80,6 +80,19 @@ let text_gen =
       "Goal() <- T(x,y).";
     ]
 
+let rpq_text_gen =
+  QCheck.Gen.oneofl
+    [
+      "q = (k|k^)*.f ;";
+      "vk = k|k^ ; vf = f ;";
+      "astar = a* ;";
+    ]
+
+(* the RPQ verbs' optional trailing tuple, empty tuples included — the
+   printer emits [()] and the parser takes it back *)
+let opt_tuple_gen =
+  QCheck.Gen.(opt (list_size (int_bound 3) word_gen))
+
 let verb_gen =
   QCheck.Gen.(
     let opt_small = opt (int_bound 9) in
@@ -128,6 +141,21 @@ let verb_gen =
             (fun program views samples ->
               Svc_proto.Rewrite_check { program; views; samples })
             word_gen word_gen opt_small );
+        ( 2,
+          map2
+            (fun name text -> Svc_proto.Rpq_load { name; text })
+            word_gen rpq_text_gen );
+        ( 2,
+          map3
+            (fun rpq instance tuple ->
+              Svc_proto.Rpq_eval { rpq; instance; tuple })
+            word_gen word_gen opt_tuple_gen );
+        ( 2,
+          map3
+            (fun (rpq, views) instance tuple ->
+              Svc_proto.Rpq_rewrite { rpq; views; instance; tuple })
+            (pair word_gen word_gen)
+            word_gen opt_tuple_gen );
         (1, return Svc_proto.Stats);
       ])
 

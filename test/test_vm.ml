@@ -70,7 +70,29 @@ let test_engine_facade () =
     (Dl_engine.pool_safe Dl_engine.Magic = Dl_engine.Indexed);
   check_bool "vm passes" true (Dl_engine.pool_safe Dl_engine.Vm = Dl_engine.Vm);
   check_bool "naive passes" true
-    (Dl_engine.pool_safe Dl_engine.Naive = Dl_engine.Naive)
+    (Dl_engine.pool_safe Dl_engine.Naive = Dl_engine.Naive);
+  (* pool preference: worker domains run vm unless the default is an
+     explicit naive/vm *)
+  let saved = Dl_engine.default () in
+  Fun.protect
+    ~finally:(fun () -> Dl_engine.set_default saved)
+    (fun () ->
+      List.iter
+        (fun (d, want) ->
+          Dl_engine.set_default d;
+          check_bool
+            ("pool strategy for " ^ Dl_engine.to_string d)
+            true
+            (Dl_engine.pool_strategy () = want))
+        [
+          (Dl_engine.Indexed, Dl_engine.Vm);
+          (Dl_engine.Parallel, Dl_engine.Vm);
+          (Dl_engine.Magic, Dl_engine.Vm);
+          (Dl_engine.Vm, Dl_engine.Vm);
+          (Dl_engine.Naive, Dl_engine.Naive);
+        ]);
+  check_bool "bytecode is the pool matcher default" true
+    (Dl_parallel.matcher () = Dl_parallel.Bytecode)
 
 (* --- golden disassemblies ------------------------------------------- *)
 (* One grid-shaped and one diamond-shaped rule, pinning the plan (atom
@@ -288,16 +310,16 @@ let prop_vm_holds_differential =
             tuples)
         Test_datalog.dg_idbs)
 
-(* the parallel pool's bytecode matcher: same fixpoint as the naive
-   oracle with workers running Dl_vm programs over their units *)
-let prop_parallel_bytecode_differential =
-  QCheck.Test.make ~name:"parallel bytecode matcher = naive" ~count:120
-    Test_datalog.dg_pair_arb (fun (p, i) ->
+(* both pool matchers against the naive oracle: bytecode is the default
+   (workers run Dl_vm programs over their units), slots is the
+   interpreted fallback kept selectable via MONDET_PAR_MATCHER *)
+let prop_parallel_matcher m name =
+  QCheck.Test.make ~name ~count:120 Test_datalog.dg_pair_arb (fun (p, i) ->
       Dl_parallel.set_domains 3;
-      Dl_parallel.set_matcher Dl_parallel.Bytecode;
+      Dl_parallel.set_matcher m;
       Fun.protect
         ~finally:(fun () ->
-          Dl_parallel.set_matcher Dl_parallel.Slots;
+          Dl_parallel.set_matcher Dl_parallel.Bytecode;
           Dl_parallel.set_domains 1)
         (fun () ->
           List.for_all
@@ -306,6 +328,12 @@ let prop_parallel_bytecode_differential =
               norm (Dl_engine.eval ~strategy:Dl_engine.Parallel q i)
               = norm (Dl_engine.eval ~strategy:Dl_engine.Naive q i))
             Test_datalog.dg_idbs))
+
+let prop_parallel_bytecode_differential =
+  prop_parallel_matcher Dl_parallel.Bytecode "parallel bytecode matcher = naive"
+
+let prop_parallel_slots_differential =
+  prop_parallel_matcher Dl_parallel.Slots "parallel slots matcher = naive"
 
 let suite =
   [
@@ -325,6 +353,7 @@ let suite =
         prop_vm_boolean_differential;
         prop_vm_holds_differential;
         prop_parallel_bytecode_differential;
+        prop_parallel_slots_differential;
       ]
   @ [
       Alcotest.test_case "pool shutdown" `Quick (fun () ->
